@@ -1,0 +1,85 @@
+"""Figure 9: QEC round time vs trap capacity and code distance (grid).
+
+Paper claims: capacity 2 achieves the lowest round times, close to the
+no-reconfiguration lower bound, and — uniquely — *constant* round time
+irrespective of code distance; higher capacities serialise in-trap
+operations and slow down as the code grows, approaching the
+all-ions-in-one-trap upper bound.
+"""
+
+import pytest
+
+from repro.codes import RotatedSurfaceCode
+from repro.core import single_chain_round_time, steady_round_time
+from repro.toolflow import format_table
+
+from _common import publish
+
+CAPACITIES = (2, 3, 5, 12)
+DISTANCES = (3, 5, 7)
+
+
+def _lower_bound(code) -> float:
+    """No reconfigurations, full parallelism: R + 2H + 4 CX + M."""
+    from repro.arch import DEFAULT_TIMES as T
+
+    return T.reset + 2 * T.hadamard + 4 * T.cx + T.measurement
+
+
+@pytest.fixture(scope="module")
+def capacity_table():
+    table = {}
+    for cap in CAPACITIES:
+        for d in DISTANCES:
+            table[(cap, d)] = steady_round_time(
+                RotatedSurfaceCode(d), trap_capacity=cap, topology="grid"
+            )
+    return table
+
+
+def test_fig09_report(benchmark, capacity_table):
+    rows = []
+    for cap in CAPACITIES:
+        rows.append(
+            [cap] + [round(capacity_table[(cap, d)], 0) for d in DISTANCES]
+        )
+    code = RotatedSurfaceCode(DISTANCES[0])
+    rows.append(["lower bound", round(_lower_bound(code), 0), "-", "-"])
+    rows.append([
+        "upper bound (1 trap)",
+        *(round(single_chain_round_time(RotatedSurfaceCode(d)), 0)
+          for d in DISTANCES),
+    ])
+    text = benchmark(
+        format_table, ["capacity"] + [f"d={d} round us" for d in DISTANCES], rows
+    )
+    cap2 = [capacity_table[(2, d)] for d in DISTANCES]
+    growth2 = max(cap2) / min(cap2)
+    cap12_growth = capacity_table[(12, 7)] / capacity_table[(12, 3)]
+    text += (
+        f"\n\npaper: capacity 2 constant in d and lowest at scale; larger"
+        f" capacities grow with d"
+        f"\nmeasured: capacity-2 spread {growth2:.2f}x across d=3..7;"
+        f" capacity-12 grows {cap12_growth:.2f}x; at d=7 capacity 2 is"
+        f" {capacity_table[(12, 7)] / capacity_table[(2, 7)]:.1f}x faster"
+        f" than capacity 12"
+    )
+    publish("fig09_capacity_round_time", text)
+    assert growth2 < 1.6
+    assert cap12_growth > 1.8
+    assert capacity_table[(2, 7)] < capacity_table[(12, 7)]
+    assert capacity_table[(2, 7)] < capacity_table[(5, 7)]
+
+
+def test_fig09_upper_bound_dominates(benchmark, capacity_table):
+    benchmark(single_chain_round_time, RotatedSurfaceCode(3))
+    """Every compiled round beats full serialisation."""
+    for d in DISTANCES:
+        upper = single_chain_round_time(RotatedSurfaceCode(d))
+        assert capacity_table[(2, d)] < upper
+
+
+def test_bench_round_time_capacity12(benchmark):
+    benchmark(
+        steady_round_time, RotatedSurfaceCode(3), 12, "grid"
+    )

@@ -1,0 +1,90 @@
+"""Figure 10: logical error rate vs distance under gate improvements.
+
+Paper claims: capacity 2 beats larger capacities by 1-2 orders of
+magnitude in LER; with a 10x gate improvement, d=13 reaches the 1e-9
+practicality target (d=18 without it, i.e. at 5x); at 1x the target is
+out of practical reach.
+
+Method: Monte-Carlo at small distances, then the suppression-model
+projection (the figures in the paper are themselves projections).
+"""
+
+import pytest
+
+from repro.toolflow import format_table
+
+from _common import ler_point, ler_projection, publish
+
+
+def test_fig10_improvement_projections(benchmark):
+    rows = []
+    fits = {}
+    for improvement, decoder, shots in (
+        (1.0, "union_find", 2000),
+        (5.0, "mwpm", 40000),
+        (10.0, "mwpm", 80000),
+    ):
+        points = []
+        for d in (3, 5):
+            record = ler_point(
+                d, 2, improvement, "standard", shots, decoder
+            )
+            points.append((d, record.ler_per_round))
+        proj = ler_projection(2, improvement, "standard", (3, 5), shots, decoder)
+        fits[improvement] = proj
+        target = proj.distance_for(1e-9)
+        rows.append([
+            f"{improvement:.0f}x",
+            f"{points[0][1]:.2e}",
+            f"{points[1][1]:.2e}",
+            f"{proj.lam:.2f}",
+            "unreachable" if target is None else target,
+        ])
+    text = benchmark(
+        format_table,
+        ["improvement", "p_L(3)/round", "p_L(5)/round", "Lambda", "d for 1e-9"],
+        rows,
+    )
+    text += (
+        "\n\npaper: 1e-9 needs d~13 at 10x or d~18 at 5x; 1x impractical"
+        "\nmeasured: see the d-for-1e-9 column (Monte-Carlo noise at the"
+        " lowest rates makes the 10x fit the most uncertain)"
+    )
+    publish("fig10_ler_projection", text)
+    # 5x must show genuine sub-threshold suppression with a plausible
+    # projected target distance.
+    assert fits[5.0].below_threshold
+    d5 = fits[5.0].distance_for(1e-9)
+    assert d5 is not None and 9 <= d5 <= 40
+    # More improvement means more suppression per distance step
+    # (within Monte-Carlo noise; 10x may saturate on zero failures).
+    assert fits[5.0].lam > 1.5
+
+
+def test_fig10_capacity_comparison(benchmark):
+    """Capacity 2 achieves lower LER than capacity 12 (5x scenario)."""
+    small = ler_point(3, 2, 5.0, "standard", 8000, "mwpm")
+    large = ler_point(3, 12, 5.0, "standard", 8000, "mwpm")
+    text = benchmark(
+        format_table,
+        ["capacity", "LER/round", "failures"],
+        [
+            [2, f"{small.ler_per_round:.2e}", small.failures],
+            [12, f"{large.ler_per_round:.2e}", large.failures],
+        ],
+    )
+    text += (
+        "\n\npaper: capacity 2 outperforms larger capacities by 1-2 orders"
+        f"\nmeasured: {large.ler_per_round / small.ler_per_round:.1f}x lower"
+        " LER at capacity 2"
+    )
+    publish("fig10_capacity_ler", text)
+    assert small.ler_per_round < large.ler_per_round
+
+
+def test_bench_ler_point_d3(benchmark):
+    def run():
+        ler_point.cache_clear()
+        return ler_point(3, 2, 5.0, "standard", 500, "mwpm")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

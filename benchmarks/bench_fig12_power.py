@@ -1,0 +1,88 @@
+"""Figure 12: controller data rate and power at a target LER.
+
+Paper claims: even at the optimal capacity-2 design point, one logical
+qubit at 1e-9 needs roughly a 1.3 Tbit/s controller link and ~780 W of
+DAC power under standard wiring — the scaling wall motivating wiring
+co-design.
+"""
+
+import pytest
+
+from repro.arch import standard_resources
+from repro.toolflow import format_table
+
+from _common import capacity_projection, device_for_distance, publish
+
+CAPACITIES = (2, 5, 12)
+TARGET = 1e-9
+
+
+@pytest.fixture(scope="module")
+def power_rows():
+    rows = []
+    for cap in CAPACITIES:
+        proj = capacity_projection(cap)
+        d = proj.distance_for(TARGET)
+        if d is None:
+            rows.append({"cap": cap, "d": None})
+            continue
+        d = min(d, 49)
+        res = standard_resources(device_for_distance(d, cap))
+        rows.append({
+            "cap": cap,
+            "d": d,
+            "data_rate_tbitps": res.data_rate_bitps / 1e12,
+            "power_w": res.power_w,
+        })
+    return rows
+
+
+def test_fig12_report(benchmark, power_rows):
+    display = []
+    for r in power_rows:
+        if r["d"] is None:
+            display.append([r["cap"], "unreachable", None, None])
+        else:
+            display.append([
+                r["cap"], r["d"],
+                round(r["data_rate_tbitps"], 3),
+                round(r["power_w"], 0),
+            ])
+    text = benchmark(
+        format_table, ["capacity", f"d @ {TARGET:g}", "Tbit/s", "power W"], display
+    )
+    text += (
+        "\n\npaper: ~1.3 Tbit/s and ~780 W per logical qubit at 1e-9 for"
+        " capacity 2 (and capacity 2 minimises both)"
+        "\nmeasured: see capacity-2 row"
+    )
+    publish("fig12_power", text)
+    cap2 = next(r for r in power_rows if r["cap"] == 2)
+    assert cap2["d"] is not None
+    # Order of magnitude of the paper's wall: hundreds of Gbit/s to a
+    # few Tbit/s, hundreds of watts.
+    assert 0.05 < cap2["data_rate_tbitps"] < 10
+    assert 30 < cap2["power_w"] < 6000
+    # Capacity 2 minimises both metrics among reachable capacities.
+    for r in power_rows:
+        if r["cap"] != 2 and r["d"] is not None:
+            assert cap2["data_rate_tbitps"] <= r["data_rate_tbitps"] * 1.2
+            assert cap2["power_w"] <= r["power_w"] * 1.2
+
+
+def test_power_proportional_to_data_rate(benchmark, power_rows):
+    benchmark(lambda: None)
+    for r in power_rows:
+        if r["d"] is None:
+            continue
+        # Both scale with DAC count: 30 mW and 50 Mbit/s per DAC.
+        dacs_from_power = r["power_w"] / 0.03
+        dacs_from_rate = r["data_rate_tbitps"] * 1e12 / 50e6
+        assert dacs_from_power == pytest.approx(dacs_from_rate, rel=1e-6)
+
+
+def test_bench_projection_fit(benchmark):
+    from repro.ler import fit_projection
+
+    points = [(3, 2e-4), (5, 4e-5), (7, 8e-6)]
+    benchmark(fit_projection, points)

@@ -1,0 +1,73 @@
+"""Substrate validation: the simulation + decoding stack behaves like
+the literature says it must.
+
+Not a paper table per se, but the foundation every figure rests on: the
+rotated surface code decoded with MWPM under circuit-level depolarising
+noise must show a threshold in the sub-percent range and exponential
+suppression below it.  If this bench regresses, none of the LER figures
+can be trusted.
+"""
+
+import pytest
+
+from repro.codes import RotatedSurfaceCode
+from repro.ler import scan_threshold
+from repro.toolflow import format_table
+
+from _common import publish
+
+
+@pytest.fixture(scope="module")
+def scan():
+    return scan_threshold(
+        RotatedSurfaceCode,
+        distances=(3, 5),
+        physical_rates=(2e-3, 4e-3, 8e-3, 2.5e-2),
+        rounds=3,
+        shots=5000,
+        seed=17,
+    )
+
+
+def test_threshold_report(benchmark, scan):
+    rows = []
+    for p in scan.physical_rates:
+        rows.append([
+            f"{p:g}",
+            f"{scan.ler(3, p):.2e}",
+            f"{scan.ler(5, p):.2e}",
+            round(scan.suppression_at(p), 2),
+        ])
+    text = benchmark(
+        format_table,
+        ["physical p", "p_L(d=3)", "p_L(d=5)", "suppression d3/d5"],
+        rows,
+    )
+    threshold = scan.threshold_estimate()
+    text += (
+        "\n\nliterature: circuit-level depolarising threshold ~0.5-1%"
+        f"\nmeasured: crossing at p ~ {threshold:.2%}"
+        if threshold is not None
+        else "\n\nno crossing found in the sampled range"
+    )
+    publish("substrate_threshold", text)
+    assert threshold is not None
+    assert 1e-3 < threshold < 2.5e-2
+    # Deep below threshold the larger code clearly wins.
+    assert scan.suppression_at(2e-3) > 1.0
+
+
+def test_bench_threshold_point(benchmark):
+    from repro.codes import UniformNoise, ideal_memory_circuit
+    from repro.ler import estimate_logical_error_rate
+
+    circuit = ideal_memory_circuit(
+        RotatedSurfaceCode(3), rounds=3, noise=UniformNoise(5e-3)
+    )
+    benchmark.pedantic(
+        estimate_logical_error_rate,
+        args=(circuit,),
+        kwargs={"rounds": 3, "shots": 500, "seed": 3},
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (the sandbox lacks the wheel package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Architecting Scalable Trapped Ion Quantum
+Computers using Surface Codes" (Jones & Murali, ASPLOS 2026).
+
+Subpackages
+-----------
+- ``repro.sim`` — stabilizer circuit simulation (Stim substitute):
+  Pauli algebra, circuit IR with noise channels and detectors, exact
+  tableau simulation, vectorised Pauli-frame sampling, detector error
+  model extraction.
+- ``repro.decoders`` — MWPM / union-find / lookup decoding of detector
+  error models (PyMatching substitute).
+- ``repro.codes`` — repetition, rotated and unrotated surface codes.
+- ``repro.arch`` — QCCD hardware: traps/junctions/segments, grid /
+  linear / switch topologies, Table-1 timings, standard vs WISE wiring,
+  electrode/DAC/power resource models.
+- ``repro.noise`` — trapped-ion noise channels e1-e5, motional heating
+  ledger, heating-aware gate fidelity.
+- ``repro.core`` — the paper's contribution: the QEC- and topology-
+  aware compiler (translate, place, route, schedule) plus export of
+  compiled schedules to noisy stabilizer circuits.
+- ``repro.baselines`` — QCCDSim-like and Muzzle-like comparators.
+- ``repro.ler`` — Monte-Carlo logical-error-rate estimation and the
+  suppression-model projection used by the paper's figures.
+- ``repro.toolflow`` — the Figure-2 design-space exploration pipeline.
+
+Quick start
+-----------
+>>> from repro.codes import RotatedSurfaceCode
+>>> from repro.core import compile_memory_experiment
+>>> program = compile_memory_experiment(RotatedSurfaceCode(3), trap_capacity=2)
+>>> program.stats.round_time_us > 0
+True
+"""
+
+from . import arch, baselines, codes, core, decoders, ler, noise, sim, toolflow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arch",
+    "baselines",
+    "codes",
+    "core",
+    "decoders",
+    "ler",
+    "noise",
+    "sim",
+    "toolflow",
+    "__version__",
+]

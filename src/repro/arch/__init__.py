@@ -1,0 +1,42 @@
+"""QCCD hardware model: components, topologies, timing, wiring, resources."""
+
+from .components import Component, ComponentKind
+from .device import QCCDDevice
+from .resources import (
+    ResourceEstimate,
+    electrode_counts,
+    standard_resources,
+    wise_resources,
+)
+from .timing import DEFAULT_TIMES, OperationTimes
+from .topologies import (
+    TOPOLOGIES,
+    build_device,
+    grid_device,
+    grid_device_from_sites,
+    linear_device,
+    switch_device,
+)
+from .wiring import STANDARD_WIRING, WISE_WIRING, WiringMethod, wiring_by_name
+
+__all__ = [
+    "Component",
+    "ComponentKind",
+    "QCCDDevice",
+    "ResourceEstimate",
+    "electrode_counts",
+    "standard_resources",
+    "wise_resources",
+    "DEFAULT_TIMES",
+    "OperationTimes",
+    "TOPOLOGIES",
+    "build_device",
+    "grid_device",
+    "grid_device_from_sites",
+    "linear_device",
+    "switch_device",
+    "STANDARD_WIRING",
+    "WISE_WIRING",
+    "WiringMethod",
+    "wiring_by_name",
+]

@@ -1,0 +1,45 @@
+"""QCCD hardware components: traps, junctions and transport segments.
+
+The abstract device view of Figure 1(c): ions live in linear traps;
+traps are joined by shuttling *segments*, optionally through *junctions*
+(X-crossings).  Occupancy rules follow Sec. 4.3: traps hold at most
+``capacity`` ions, junctions and segments at most one (the all-to-all
+switch junction is the paper's optimistic exception and is modelled as
+a non-blocking crossbar with unbounded occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ComponentKind(Enum):
+    TRAP = "trap"
+    JUNCTION = "junction"
+    SEGMENT = "segment"
+
+
+@dataclass(frozen=True)
+class Component:
+    """One hardware component of the QCCD device graph."""
+
+    id: int
+    kind: ComponentKind
+    pos: tuple[float, float]
+    capacity: int
+
+    @property
+    def is_trap(self) -> bool:
+        return self.kind is ComponentKind.TRAP
+
+    @property
+    def is_junction(self) -> bool:
+        return self.kind is ComponentKind.JUNCTION
+
+    @property
+    def is_segment(self) -> bool:
+        return self.kind is ComponentKind.SEGMENT
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}{self.id}@{self.pos}"

@@ -1,0 +1,123 @@
+"""The QCCD device graph and its occupancy/connectivity queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from .components import Component, ComponentKind
+
+
+@dataclass
+class QCCDDevice:
+    """A QCCD device: components plus their wiring into a graph.
+
+    The graph alternates trap/junction nodes with segment nodes —
+    every edge joins a segment to a trap or junction, so a route
+    between traps is a sequence  trap, seg, (junction, seg,)* trap.
+    """
+
+    topology: str
+    trap_capacity: int
+    components: list[Component] = field(default_factory=list)
+    edges: list[tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.trap_capacity < 2:
+            raise ValueError("trap capacity must be at least 2")
+        self._graph: nx.Graph | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def traps(self) -> list[Component]:
+        return [c for c in self.components if c.is_trap]
+
+    @property
+    def junctions(self) -> list[Component]:
+        return [c for c in self.components if c.is_junction]
+
+    @property
+    def segments(self) -> list[Component]:
+        return [c for c in self.components if c.is_segment]
+
+    @property
+    def num_traps(self) -> int:
+        return len(self.traps)
+
+    @property
+    def num_junctions(self) -> int:
+        return len(self.junctions)
+
+    def component(self, cid: int) -> Component:
+        return self.components[cid]
+
+    def graph(self) -> nx.Graph:
+        """Component connectivity graph (cached)."""
+        if self._graph is None:
+            g = nx.Graph()
+            for comp in self.components:
+                g.add_node(comp.id, kind=comp.kind)
+            g.add_edges_from(self.edges)
+            self._graph = g
+        return self._graph
+
+    def neighbors(self, cid: int) -> list[int]:
+        return list(self.graph().neighbors(cid))
+
+    def neighbor_traps(self, trap_id: int) -> list[int]:
+        """Traps reachable from ``trap_id`` through one segment/junction run."""
+        found: list[int] = []
+        for seg in self.neighbors(trap_id):
+            for nxt in self.neighbors(seg):
+                if nxt == trap_id:
+                    continue
+                comp = self.component(nxt)
+                if comp.is_trap:
+                    found.append(nxt)
+                elif comp.is_junction:
+                    for seg2 in self.neighbors(nxt):
+                        if seg2 == seg:
+                            continue
+                        for t in self.neighbors(seg2):
+                            if t != nxt and self.component(t).is_trap:
+                                found.append(t)
+        return sorted(set(found))
+
+    # ------------------------------------------------------------------
+    # Geometry helpers used by the router (chain ends)
+    # ------------------------------------------------------------------
+    def port_end(self, trap_id: int, segment_id: int) -> int:
+        """Which end (0 or 1) of the trap's linear chain a segment joins.
+
+        Segments approaching from smaller x (or, on a tie, smaller y)
+        attach to end 0; the rest to end 1.  This fixes where merging
+        ions enter the chain and which chain position may split out.
+        """
+        trap = self.component(trap_id)
+        seg = self.component(segment_id)
+        if (seg.pos[0], seg.pos[1]) < (trap.pos[0], trap.pos[1]):
+            return 0
+        return 1
+
+    def validate(self) -> None:
+        """Structural invariants used by tests and builders."""
+        ids = [c.id for c in self.components]
+        if ids != list(range(len(ids))):
+            raise ValueError("component ids must be 0..n-1")
+        for a, b in self.edges:
+            ka = self.component(a).kind
+            kb = self.component(b).kind
+            segment_count = (ka is ComponentKind.SEGMENT) + (kb is ComponentKind.SEGMENT)
+            if segment_count != 1:
+                raise ValueError(
+                    f"edge ({a},{b}) must join a segment to a trap/junction"
+                )
+        for seg in self.segments:
+            degree = len(self.neighbors(seg.id))
+            if degree != 2:
+                raise ValueError(f"segment {seg.id} must join exactly two nodes")
+        if self.num_traps > 1 and not nx.is_connected(self.graph()):
+            raise ValueError("device graph must be connected")

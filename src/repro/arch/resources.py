@@ -1,0 +1,88 @@
+"""Electrode / DAC / data-rate / power estimation (Sec. 5.2).
+
+The paper's model:
+
+- linear zones: one per ion slot, ``N_lz = N_traps * capacity``;
+- junction zones: one per junction, ``N_jz = N_junctions``;
+- dynamic electrodes: 10 per linear zone, 20 per junction zone;
+- shim electrodes: 10 per zone of either kind;
+- standard wiring: one DAC per electrode, 50 Mbit/s and 30 mW each;
+- WISE wiring: ~100 DACs drive all dynamic electrodes through a switch
+  network and one DAC serves ~100 shim electrodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import QCCDDevice
+
+DYNAMIC_ELECTRODES_PER_LINEAR_ZONE = 10
+DYNAMIC_ELECTRODES_PER_JUNCTION_ZONE = 20
+SHIM_ELECTRODES_PER_ZONE = 10
+DATA_RATE_PER_DAC_BITPS = 50e6
+POWER_PER_DAC_W = 30e-3
+WISE_DYNAMIC_DACS = 100
+WISE_SHIM_ELECTRODES_PER_DAC = 100
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Hardware footprint of one device under one wiring method."""
+
+    num_traps: int
+    num_junctions: int
+    trap_capacity: int
+    dynamic_electrodes: int
+    shim_electrodes: int
+    num_dacs: int
+    data_rate_bitps: float
+    power_w: float
+
+    @property
+    def electrodes(self) -> int:
+        return self.dynamic_electrodes + self.shim_electrodes
+
+
+def electrode_counts(device: QCCDDevice) -> tuple[int, int]:
+    """(dynamic, shim) electrode counts of a device."""
+    n_lz = device.num_traps * device.trap_capacity
+    n_jz = device.num_junctions
+    dynamic = (
+        DYNAMIC_ELECTRODES_PER_LINEAR_ZONE * n_lz
+        + DYNAMIC_ELECTRODES_PER_JUNCTION_ZONE * n_jz
+    )
+    shim = SHIM_ELECTRODES_PER_ZONE * (n_lz + n_jz)
+    return dynamic, shim
+
+
+def standard_resources(device: QCCDDevice) -> ResourceEstimate:
+    """One DAC per electrode (the standard architecture, Figure 4a)."""
+    dynamic, shim = electrode_counts(device)
+    dacs = dynamic + shim
+    return ResourceEstimate(
+        num_traps=device.num_traps,
+        num_junctions=device.num_junctions,
+        trap_capacity=device.trap_capacity,
+        dynamic_electrodes=dynamic,
+        shim_electrodes=shim,
+        num_dacs=dacs,
+        data_rate_bitps=DATA_RATE_PER_DAC_BITPS * dacs,
+        power_w=POWER_PER_DAC_W * dacs,
+    )
+
+
+def wise_resources(device: QCCDDevice) -> ResourceEstimate:
+    """Switch-network demultiplexed wiring (Figure 4b)."""
+    dynamic, shim = electrode_counts(device)
+    dacs = WISE_DYNAMIC_DACS + shim // WISE_SHIM_ELECTRODES_PER_DAC
+    return ResourceEstimate(
+        num_traps=device.num_traps,
+        num_junctions=device.num_junctions,
+        trap_capacity=device.trap_capacity,
+        dynamic_electrodes=dynamic,
+        shim_electrodes=shim,
+        num_dacs=dacs,
+        data_rate_bitps=DATA_RATE_PER_DAC_BITPS * dacs,
+        power_w=POWER_PER_DAC_W * dacs,
+    )

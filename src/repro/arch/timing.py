@@ -1,0 +1,77 @@
+"""Operation timing model (Table 1 of the paper).
+
+All durations are in microseconds.  Composite durations encode our
+documented gate decompositions: CNOT = one MS gate plus four 5 us
+rotations (RZ is a virtual frame update costing nothing, as on real
+trapped-ion hardware), an in-trap gate swap = three MS gates.
+The WISE cooling model (Sec. 5.1) adds 850 us to every two-qubit gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class OperationTimes:
+    """Durations (us) of the QCCD primitive operations t1-t11."""
+
+    ms_gate: float = 40.0          # t1  two-qubit Molmer-Sorensen
+    rotation: float = 5.0          # t2-t4 single-ion rotation
+    measurement: float = 400.0     # t5
+    reset: float = 50.0            # t6
+    shuttle: float = 5.0           # t7  per segment traversal
+    split: float = 80.0            # t8
+    merge: float = 80.0            # t9
+    junction_entry: float = 100.0  # t10
+    junction_exit: float = 100.0   # t11
+    cooling_overhead_2q: float = 0.0  # extra per MS gate (WISE cooling)
+
+    # --- composite gate durations -------------------------------------
+    @property
+    def cx(self) -> float:
+        """CNOT: RY(c), MS, RX(c), RX(t), RY(c) with RZ free."""
+        return self.ms_gate + self.cooling_overhead_2q + 4 * self.rotation
+
+    @property
+    def hadamard(self) -> float:
+        """H = virtual RZ + one RY rotation."""
+        return self.rotation
+
+    @property
+    def swap(self) -> float:
+        """In-trap gate swap = three MS gates."""
+        return 3 * (self.ms_gate + self.cooling_overhead_2q)
+
+    def gate_duration(self, kind: str) -> float:
+        table = {
+            "CX": self.cx,
+            "H": self.hadamard,
+            "M": self.measurement,
+            "R": self.reset,
+            "SWAP": self.swap,
+        }
+        try:
+            return table[kind]
+        except KeyError:
+            raise ValueError(f"unknown gate kind {kind!r}") from None
+
+    def movement_duration(self, kind: str) -> float:
+        table = {
+            "SPLIT": self.split,
+            "MERGE": self.merge,
+            "SHUTTLE": self.shuttle,
+            "JUNCTION_ENTRY": self.junction_entry,
+            "JUNCTION_EXIT": self.junction_exit,
+        }
+        try:
+            return table[kind]
+        except KeyError:
+            raise ValueError(f"unknown movement kind {kind!r}") from None
+
+    def with_cooling(self, overhead: float = 850.0) -> "OperationTimes":
+        """The WISE cooled-gate timing variant."""
+        return replace(self, cooling_overhead_2q=overhead)
+
+
+DEFAULT_TIMES = OperationTimes()

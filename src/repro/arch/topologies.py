@@ -1,0 +1,202 @@
+"""Builders for the paper's three communication topologies (Sec. 3.2).
+
+- ``linear``: traps in a row joined by bare segments (pessimistic case,
+  resembling Quantinuum's race-track H-series).
+- ``grid``: traps on integer sites with an X-junction at each interior
+  corner joining up to four diagonal traps (the paper's recommended
+  topology, Figure 1).
+- ``switch``: every trap connected by a segment to one non-blocking
+  n-way junction (optimistic case, resembling MUSIQC).
+
+Grid devices can be built from an arbitrary set of occupied sites so
+that a device can exactly tile a surface-code patch — the hardware a
+designer would lay out for a dedicated logical-qubit tile.
+"""
+
+from __future__ import annotations
+
+from .components import Component, ComponentKind
+from .device import QCCDDevice
+
+TOPOLOGIES = ("linear", "grid", "switch")
+
+
+def linear_device(num_traps: int, capacity: int) -> QCCDDevice:
+    """Traps on a line, adjacent pairs joined by one segment."""
+    if num_traps < 1:
+        raise ValueError("need at least one trap")
+    device = QCCDDevice("linear", capacity)
+    comps = device.components
+    for i in range(num_traps):
+        comps.append(
+            Component(len(comps), ComponentKind.TRAP, (2.0 * i, 0.0), capacity)
+        )
+    for i in range(num_traps - 1):
+        seg = Component(len(comps), ComponentKind.SEGMENT, (2.0 * i + 1.0, 0.0), 1)
+        comps.append(seg)
+        device.edges.append((i, seg.id))
+        device.edges.append((seg.id, i + 1))
+    device.validate()
+    return device
+
+
+def switch_device(num_traps: int, capacity: int) -> QCCDDevice:
+    """Star of traps around one non-blocking crossbar junction."""
+    if num_traps < 1:
+        raise ValueError("need at least one trap")
+    device = QCCDDevice("switch", capacity)
+    comps = device.components
+    for i in range(num_traps):
+        comps.append(
+            Component(len(comps), ComponentKind.TRAP, (2.0 * i, 2.0), capacity)
+        )
+    if num_traps == 1:
+        device.validate()
+        return device
+    # The crossbar: occupancy bound num_traps, i.e. effectively unbounded.
+    hub = Component(
+        len(comps), ComponentKind.JUNCTION, (num_traps - 1.0, 0.0), num_traps
+    )
+    comps.append(hub)
+    for i in range(num_traps):
+        seg = Component(
+            len(comps), ComponentKind.SEGMENT, (2.0 * i, 1.0), 1
+        )
+        comps.append(seg)
+        device.edges.append((i, seg.id))
+        device.edges.append((seg.id, hub.id))
+    device.validate()
+    return device
+
+
+def grid_device_from_sites(
+    sites: list[tuple[int, int]], capacity: int
+) -> QCCDDevice:
+    """Traps at the given integer sites with corner junctions.
+
+    A junction is placed at each half-integer corner touching at least
+    two occupied diagonal sites, with a segment to each of those traps.
+    Horizontally/vertically adjacent traps therefore communicate via a
+    shared corner junction (trap - seg - junction - seg - trap).
+    """
+    if not sites:
+        raise ValueError("need at least one trap site")
+    if len(set(sites)) != len(sites):
+        raise ValueError("duplicate trap sites")
+    device = QCCDDevice("grid", capacity)
+    comps = device.components
+    trap_at: dict[tuple[int, int], int] = {}
+    for x, y in sites:
+        comp = Component(
+            len(comps), ComponentKind.TRAP, (2.0 * x, 2.0 * y), capacity
+        )
+        comps.append(comp)
+        trap_at[(x, y)] = comp.id
+
+    corners: set[tuple[int, int]] = set()
+    for x, y in sites:
+        corners.update({(x, y), (x - 1, y), (x, y - 1), (x - 1, y - 1)})
+
+    def corner_sites(cx: int, cy: int) -> list[tuple[int, int]]:
+        return [
+            (cx + dx, cy + dy)
+            for dx in (0, 1)
+            for dy in (0, 1)
+            if (cx + dx, cy + dy) in trap_at
+        ]
+
+    def hosts_junction(cx: int, cy: int) -> bool:
+        """A corner hosts an X-junction unless it only duplicates a
+        side-adjacent pair that a better (more connected) shared corner
+        already serves — this keeps one junction per grid crossing,
+        matching the paper's Figure 1 layout."""
+        touching = corner_sites(cx, cy)
+        if len(touching) < 2:
+            return False
+        if len(touching) > 2:
+            return True
+        (x1, y1), (x2, y2) = touching
+        if abs(x1 - x2) + abs(y1 - y2) != 1:
+            return True  # diagonal pair: this is their only shared corner
+        # Side-adjacent pair: exactly two corners touch both traps.
+        if y1 == y2:  # horizontal pair at x = min(x1, x2)
+            x = min(x1, x2)
+            shared = [(x, y1 - 1), (x, y1)]
+        else:  # vertical pair
+            y = min(y1, y2)
+            shared = [(x1 - 1, y), (x1, y)]
+        best = max(shared, key=lambda c: (len(corner_sites(*c)), (-c[0], -c[1])))
+        return (cx, cy) == best
+
+    for cx, cy in sorted(corners):
+        if not hosts_junction(cx, cy):
+            continue
+        touching = corner_sites(cx, cy)
+        touching = [trap_at[s] for s in touching]
+        junction = Component(
+            len(comps), ComponentKind.JUNCTION, (2.0 * cx + 1.0, 2.0 * cy + 1.0), 1
+        )
+        comps.append(junction)
+        for trap_id in touching:
+            trap = comps[trap_id]
+            mid = (
+                (trap.pos[0] + junction.pos[0]) / 2.0,
+                (trap.pos[1] + junction.pos[1]) / 2.0,
+            )
+            seg = Component(len(comps), ComponentKind.SEGMENT, mid, 1)
+            comps.append(seg)
+            device.edges.append((trap_id, seg.id))
+            device.edges.append((seg.id, junction.id))
+    device.validate()
+    return device
+
+
+def grid_device(rows: int, cols: int, capacity: int) -> QCCDDevice:
+    """A full rows x cols rectangle of traps with corner junctions."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    sites = [(c, r) for r in range(rows) for c in range(cols)]
+    if rows == 1 or cols == 1:
+        # Degenerate grid: no interior corners exist, so fall back to a
+        # junction between each adjacent pair to keep the device
+        # connected while preserving grid-style (junction-based) hops.
+        device = QCCDDevice("grid", capacity)
+        comps = device.components
+        n = rows * cols
+        for i in range(n):
+            comps.append(
+                Component(len(comps), ComponentKind.TRAP, (2.0 * i, 0.0), capacity)
+            )
+        for i in range(n - 1):
+            junction = Component(
+                len(comps), ComponentKind.JUNCTION, (2.0 * i + 1.0, 0.0), 1
+            )
+            comps.append(junction)
+            for trap_id, offset in ((i, -0.5), (i + 1, 0.5)):
+                seg = Component(
+                    len(comps),
+                    ComponentKind.SEGMENT,
+                    (junction.pos[0] + offset, 0.0),
+                    1,
+                )
+                comps.append(seg)
+                device.edges.append((trap_id, seg.id))
+                device.edges.append((seg.id, junction.id))
+        device.validate()
+        return device
+    return grid_device_from_sites(sites, capacity)
+
+
+def build_device(topology: str, num_traps: int, capacity: int) -> QCCDDevice:
+    """Topology factory for rectangular/linear/star devices."""
+    if topology == "linear":
+        return linear_device(num_traps, capacity)
+    if topology == "switch":
+        return switch_device(num_traps, capacity)
+    if topology == "grid":
+        import math
+
+        rows = max(1, round(math.sqrt(num_traps)))
+        cols = math.ceil(num_traps / rows)
+        return grid_device(rows, cols, capacity)
+    raise ValueError(f"unknown topology {topology!r}; expected {TOPOLOGIES}")

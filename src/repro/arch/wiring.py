@@ -1,0 +1,54 @@
+"""Control-system wiring methods (Sec. 3.3).
+
+The wiring method changes three things downstream:
+
+1. the scheduler's parallelism — WISE's shared switch network means
+   only primitive operations *of the same type* may overlap in time;
+2. the noise model — WISE requires recooling before gates, replacing
+   the heating-dependent fidelity with fixed cooled-gate errors at the
+   cost of +850 us per two-qubit gate;
+3. the resource estimate — DAC count and hence data rate and power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import QCCDDevice
+from .resources import ResourceEstimate, standard_resources, wise_resources
+from .timing import DEFAULT_TIMES, OperationTimes
+
+
+@dataclass(frozen=True)
+class WiringMethod:
+    """A control wiring architecture and its scheduling/noise knobs."""
+
+    name: str
+    type_exclusive: bool  # only same-type primitives may co-occur
+    cooled_gates: bool
+
+    def operation_times(self, base: OperationTimes = DEFAULT_TIMES) -> OperationTimes:
+        if self.cooled_gates:
+            return base.with_cooling()
+        return base
+
+    def resources(self, device: QCCDDevice) -> ResourceEstimate:
+        if self.name == "standard":
+            return standard_resources(device)
+        if self.name == "wise":
+            return wise_resources(device)
+        raise ValueError(f"no resource model for wiring {self.name!r}")
+
+
+STANDARD_WIRING = WiringMethod(name="standard", type_exclusive=False, cooled_gates=False)
+WISE_WIRING = WiringMethod(name="wise", type_exclusive=True, cooled_gates=True)
+
+
+def wiring_by_name(name: str) -> WiringMethod:
+    methods = {"standard": STANDARD_WIRING, "wise": WISE_WIRING}
+    try:
+        return methods[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown wiring {name!r}; expected one of {sorted(methods)}"
+        ) from None

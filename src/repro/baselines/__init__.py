@@ -1,0 +1,6 @@
+"""Reimplementations of the compilers the paper benchmarks against."""
+
+from .muzzle_like import compile_muzzle_like
+from .qccdsim_like import BaselineFailure, compile_qccdsim_like
+
+__all__ = ["BaselineFailure", "compile_muzzle_like", "compile_qccdsim_like"]

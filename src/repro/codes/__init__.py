@@ -1,0 +1,56 @@
+"""QEC codes: geometry, checks, logical operators and round circuits.
+
+The paper's benchmarks (Sec. 6.1): repetition code and unrotated
+surface code as compiler-validation baselines, rotated surface code as
+the primary architectural workload.
+"""
+
+from .base import Check, CodeQubit, Role, StabilizerCode
+from .circuits import (
+    DetectorSpec,
+    LayeredRound,
+    UniformNoise,
+    attach_detectors,
+    ideal_memory_circuit,
+    memory_detector_spec,
+    syndrome_round,
+)
+from .rectangular import RectangularRotatedCode, merged_patch
+from .repetition import RepetitionCode
+from .rotated_surface import RotatedSurfaceCode
+from .unrotated_surface import UnrotatedSurfaceCode
+
+__all__ = [
+    "Check",
+    "CodeQubit",
+    "Role",
+    "StabilizerCode",
+    "DetectorSpec",
+    "LayeredRound",
+    "UniformNoise",
+    "attach_detectors",
+    "ideal_memory_circuit",
+    "memory_detector_spec",
+    "syndrome_round",
+    "RectangularRotatedCode",
+    "merged_patch",
+    "RepetitionCode",
+    "RotatedSurfaceCode",
+    "UnrotatedSurfaceCode",
+]
+
+
+def make_code(name: str, distance: int) -> StabilizerCode:
+    """Factory used by the toolflow and the benchmark harness."""
+    registry = {
+        "repetition": RepetitionCode,
+        "rotated_surface": RotatedSurfaceCode,
+        "unrotated_surface": UnrotatedSurfaceCode,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown code {name!r}; expected one of {sorted(registry)}"
+        ) from None
+    return cls(distance)

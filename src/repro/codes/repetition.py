@@ -1,0 +1,40 @@
+"""Distance-d repetition code (bit-flip code).
+
+The simplest benchmark in the paper (Sec. 6.1): d data qubits on a
+line, d-1 weight-two Z checks between neighbours.  Used to validate the
+compiler against exactly computable optimal schedules (Table 2) and
+against the baseline compilers (Table 3).
+"""
+
+from __future__ import annotations
+
+from .base import Check, CodeQubit, Role, StabilizerCode
+
+
+class RepetitionCode(StabilizerCode):
+    """[[d, 1, d]] bit-flip repetition code on a line."""
+
+    name = "repetition"
+
+    def _build(self) -> None:
+        d = self.distance
+        # Interleave data (even x) and ancilla (odd x) on a line so that
+        # index order matches spatial order.
+        index = 0
+        data_ids: list[int] = []
+        ancilla_ids: list[int] = []
+        for i in range(2 * d - 1):
+            if i % 2 == 0:
+                self.qubits.append(CodeQubit(index, Role.DATA, (float(i), 0.0)))
+                data_ids.append(index)
+            else:
+                self.qubits.append(
+                    CodeQubit(index, Role.ANCILLA, (float(i), 0.0), basis="Z")
+                )
+                ancilla_ids.append(index)
+            index += 1
+        for k, ancilla in enumerate(ancilla_ids):
+            left, right = data_ids[k], data_ids[k + 1]
+            self.checks.append(Check(ancilla, "Z", (left, right)))
+        self.logical_z = [data_ids[0]]
+        self.logical_x = list(data_ids)

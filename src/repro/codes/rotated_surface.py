@@ -1,0 +1,96 @@
+"""Rotated surface code (the paper's primary workload, Figure 3).
+
+Layout follows the standard convention: data qubits at odd-odd
+coordinates of a (2d)x(2d) patch, measure (ancilla) qubits at even-even
+coordinates, checkerboard-coloured into X and Z plaquettes, with
+weight-two checks along the boundary.  Total qubit count is
+``2*d*d - 1`` (d^2 data + d^2-1 ancilla), matching Sec. 6.1.
+
+CX layer orders use the standard "zigzag" schedule (middle two layers
+swapped between X and Z checks), which guarantees that no data qubit is
+addressed twice in a layer and avoids distance-killing hook errors.
+"""
+
+from __future__ import annotations
+
+from .base import Check, CodeQubit, Role, StabilizerCode
+
+# Direction of the data qubit relative to the measure qubit per layer.
+# Hook-error safety fixes these orders: an ancilla fault after the
+# second CX spreads to the *last two* data qubits, so that pair must lie
+# perpendicular to the logical operator the error species can corrupt.
+# With these orders the X-check hook pair is horizontal (safe for the
+# row-shaped logical Z) and the Z-check hook pair is vertical (safe for
+# the column-shaped logical X); the middle-two-swapped structure keeps
+# every layer conflict-free.
+_X_ORDER = ((1, 1), (-1, 1), (1, -1), (-1, -1))
+_Z_ORDER = ((1, 1), (1, -1), (-1, 1), (-1, -1))
+
+
+class RotatedSurfaceCode(StabilizerCode):
+    """[[2d^2-1 phys, 1, d]] rotated planar surface code."""
+
+    name = "rotated_surface"
+
+    def _build(self) -> None:
+        d = self.distance
+        index = 0
+        data_at: dict[tuple[int, int], int] = {}
+        for y in range(1, 2 * d, 2):
+            for x in range(1, 2 * d, 2):
+                self.qubits.append(CodeQubit(index, Role.DATA, (float(x), float(y))))
+                data_at[(x, y)] = index
+                index += 1
+
+        # Candidate measure-qubit sites: even-even points of the patch,
+        # kept when they have at least two data neighbours and obey the
+        # boundary colouring rule of the rotated code.
+        ancilla_sites: list[tuple[int, int, str]] = []
+        for y in range(0, 2 * d + 1, 2):
+            for x in range(0, 2 * d + 1, 2):
+                basis = "X" if (x + y) % 4 == 0 else "Z"
+                if not self._site_in_code(x, y, d, basis):
+                    continue
+                ancilla_sites.append((x, y, basis))
+
+        for x, y, basis in ancilla_sites:
+            self.qubits.append(
+                CodeQubit(index, Role.ANCILLA, (float(x), float(y)), basis=basis)
+            )
+            order = _X_ORDER if basis == "X" else _Z_ORDER
+            data_by_layer = tuple(
+                data_at.get((x + dx, y + dy)) for dx, dy in order
+            )
+            self.checks.append(Check(index, basis, data_by_layer))
+            index += 1
+
+        # With this colouring, X-type boundary checks sit on the top and
+        # bottom edges and Z-type checks on the left and right edges, so
+        # logical Z runs along a row of data qubits and logical X along
+        # a column (they anticommute in exactly one qubit; commutation
+        # with every check is verified in the test suite).
+        self.logical_z = [data_at[(x, 1)] for x in range(1, 2 * d, 2)]
+        self.logical_x = [data_at[(1, y)] for y in range(1, 2 * d, 2)]
+
+    @staticmethod
+    def _site_in_code(x: int, y: int, d: int, basis: str) -> bool:
+        """Whether an even-even site hosts a measure qubit.
+
+        Interior sites (touching four data qubits) always do.  Boundary
+        sites host a weight-two check only when the side matches the
+        checkerboard colouring — X checks on the top/bottom edges and Z
+        checks on the left/right edges — which is the rotated code's
+        defining trim.  The colouring itself spaces them out with period
+        four along each edge.
+        """
+        inside_x = 0 < x < 2 * d
+        inside_y = 0 < y < 2 * d
+        if inside_x and inside_y:
+            return True
+        # Corners never host checks.
+        if not inside_x and not inside_y:
+            return False
+        if inside_x:  # top (y == 0) or bottom (y == 2d) boundary
+            return basis == "X"
+        # Left (x == 0) or right (x == 2d) boundary.
+        return basis == "Z"

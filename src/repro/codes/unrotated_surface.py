@@ -1,0 +1,66 @@
+"""Unrotated (planar) surface code.
+
+The second validation benchmark of Sec. 6.1.  Qubits occupy every site
+of a (2d-1)x(2d-1) grid: data qubits where both coordinates share
+parity, X ancillas at (odd, even) sites and Z ancillas at (even, odd)
+sites.  Checks touch their four compass neighbours (two or three on the
+boundary).  Qubit count is (2d-1)^2.
+"""
+
+from __future__ import annotations
+
+from .base import Check, CodeQubit, Role, StabilizerCode
+
+# Direction from the ancilla to the data qubit per CX layer.  The
+# middle two layers are swapped between X and Z checks, which makes the
+# schedule conflict-free and keeps every overlapping X/Z check pair
+# *uncrossed* (same relative order on both shared data qubits), the
+# condition for deterministic stabilizer measurement.  Hook errors are
+# not orientation-optimised here: compass neighbourhoods cannot combine
+# conflict-freedom, uncrossing and double hook safety, and the
+# unrotated code serves only as a compiler-validation baseline
+# (Sec. 6.1), not in the LER studies.
+_X_ORDER = ((0, 1), (-1, 0), (1, 0), (0, -1))   # N, W, E, S
+_Z_ORDER = ((0, 1), (1, 0), (-1, 0), (0, -1))   # N, E, W, S
+
+
+class UnrotatedSurfaceCode(StabilizerCode):
+    """[[(2d-1)^2 phys, 1, d]] planar surface code."""
+
+    name = "unrotated_surface"
+
+    def _build(self) -> None:
+        d = self.distance
+        span = 2 * d - 1
+        index = 0
+        data_at: dict[tuple[int, int], int] = {}
+        ancilla_sites: list[tuple[int, int, str]] = []
+        for y in range(span):
+            for x in range(span):
+                if x % 2 == y % 2:
+                    self.qubits.append(
+                        CodeQubit(index, Role.DATA, (float(x), float(y)))
+                    )
+                    data_at[(x, y)] = index
+                    index += 1
+                elif x % 2 == 1:
+                    ancilla_sites.append((x, y, "X"))
+                else:
+                    ancilla_sites.append((x, y, "Z"))
+
+        for x, y, basis in ancilla_sites:
+            self.qubits.append(
+                CodeQubit(index, Role.ANCILLA, (float(x), float(y)), basis=basis)
+            )
+            order = _X_ORDER if basis == "X" else _Z_ORDER
+            data_by_layer = tuple(
+                data_at.get((x + dx, y + dy)) for dx, dy in order
+            )
+            self.checks.append(Check(index, basis, data_by_layer))
+            index += 1
+
+        # X ancillas at odd x mean X strings terminate on the left/right
+        # edges; logical Z crosses them horizontally along row y = 0,
+        # logical X vertically along column x = 0.
+        self.logical_z = [data_at[(x, 0)] for x in range(0, span, 2)]
+        self.logical_x = [data_at[(0, y)] for y in range(0, span, 2)]

@@ -1,0 +1,168 @@
+"""Hand-derived optimal schedules (the paper's "theoretical minimum").
+
+Table 2 validates the compiler against expert manual mappings.  These
+formulas are derived *within our documented timing model* (the same
+one the compiler uses), so compiler/optimal ratios are apples-to-apples:
+
+- linear hop (trap-segment-trap): split + shuttle + merge
+  = 3 ops, 165 us;
+- two-trap linear hop through an intermediate trap adds merge + split;
+- grid/switch hop (trap-segment-junction-segment-trap): 6 ops, 370 us;
+- CX = 60 us, H = 5 us, M = 400 us, R = 50 us; in-trap operations
+  serialise.
+
+Derivations are in the docstrings of the individual functions; the
+test suite asserts the compiler lands within the paper's reported
+optimality band (<= ~1.15x) of these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.timing import DEFAULT_TIMES, OperationTimes
+from ..codes.base import StabilizerCode
+from ..codes.repetition import RepetitionCode
+from ..codes.rotated_surface import RotatedSurfaceCode
+
+
+@dataclass(frozen=True)
+class OptimalEstimate:
+    """Per-round optima for one (code, topology, capacity) config."""
+
+    round_time_us: float
+    movement_ops_per_round: int
+    movement_time_per_round_us: float
+
+
+def _linear_hop(times: OperationTimes, intermediate_traps: int = 0) -> tuple[int, float]:
+    ops = 3 + 3 * intermediate_traps
+    t = times.split + times.shuttle + times.merge
+    t += intermediate_traps * (times.merge + times.split + times.shuttle)
+    return ops, t
+
+
+def _grid_hop(times: OperationTimes) -> tuple[int, float]:
+    ops = 6
+    t = (
+        times.split
+        + 2 * times.shuttle
+        + times.junction_entry
+        + times.junction_exit
+        + times.merge
+    )
+    return ops, t
+
+
+def optimal_estimate(
+    code: StabilizerCode,
+    topology: str,
+    capacity: int,
+    times: OperationTimes = DEFAULT_TIMES,
+) -> OptimalEstimate:
+    """Expert-mapping optimum for the supported Table-2 configurations."""
+    if isinstance(code, RepetitionCode):
+        return _repetition_optimal(code, topology, capacity, times)
+    if isinstance(code, RotatedSurfaceCode):
+        return _rotated_optimal(code, topology, capacity, times)
+    raise ValueError(f"no hand-optimised mapping for {code.name}")
+
+
+def single_chain_round_time(
+    code: StabilizerCode, times: OperationTimes = DEFAULT_TIMES
+) -> float:
+    """Everything in one trap: complete serialisation, zero movement."""
+    total = 0.0
+    for check in code.checks:
+        total += times.reset + times.measurement
+        total += check.weight * times.cx
+        if check.basis == "X":
+            total += 2 * times.hadamard
+    return total
+
+
+def _repetition_optimal(
+    code: RepetitionCode, topology: str, capacity: int, times: OperationTimes
+) -> OptimalEstimate:
+    d = code.distance
+    n_anc = d - 1
+    if capacity >= code.num_qubits:
+        return OptimalEstimate(single_chain_round_time(code, times), 0, 0.0)
+    if topology != "linear":
+        raise ValueError("repetition-code optima are derived for linear devices")
+    if capacity == 2:
+        # Steady state with commuting-order alternation: per round each
+        # ancilla performs one zero-hop CX where it parked and one
+        # two-trap hop (through its empty home trap) to the other data
+        # ion.  Critical path: M + R + CX + double-hop + CX.
+        hop_ops, hop_t = _linear_hop(times, intermediate_traps=1)
+        round_time = (
+            times.measurement + times.reset + 2 * times.cx + hop_t
+        )
+        return OptimalEstimate(round_time, hop_ops * n_anc, hop_t * n_anc)
+    # capacity >= 3: clusters of capacity-1 qubits.  An expert mapping
+    # groups each ancilla with its left data ion; per round the ancilla
+    # hops to the neighbouring cluster and back (single-segment hops),
+    # and in-trap gates serialise over the cluster.
+    cluster = capacity - 1
+    hops_per_round = 2
+    hop_ops, hop_t = _linear_hop(times)
+    ancillas_per_trap = max(1, _ceil_div(n_anc * cluster, code.num_qubits))
+    serial_gates = ancillas_per_trap * (
+        times.reset + 2 * times.cx + times.measurement
+    )
+    round_time = serial_gates + hops_per_round * hop_t
+    boundary_anc = n_anc - max(0, n_anc - 2)
+    del boundary_anc
+    moving_ancillas = _repetition_moving_ancillas(d, cluster)
+    return OptimalEstimate(
+        round_time,
+        hops_per_round * hop_ops * moving_ancillas,
+        hops_per_round * hop_t * moving_ancillas,
+    )
+
+
+def _repetition_moving_ancillas(d: int, cluster: int) -> int:
+    """Ancillas whose checks straddle a cluster boundary."""
+    qubits = 2 * d - 1
+    moving = 0
+    for ancilla_pos in range(1, qubits, 2):
+        left, right = ancilla_pos - 1, ancilla_pos + 1
+        cluster_of = lambda q: q // cluster
+        if not (
+            cluster_of(left) == cluster_of(ancilla_pos) == cluster_of(right)
+        ):
+            moving += 1
+    return moving
+
+
+def _rotated_optimal(
+    code: RotatedSurfaceCode, topology: str, capacity: int, times: OperationTimes
+) -> OptimalEstimate:
+    if capacity >= code.num_qubits:
+        return OptimalEstimate(single_chain_round_time(code, times), 0, 0.0)
+    if capacity != 2 or topology not in ("grid", "switch"):
+        raise ValueError(
+            "rotated-surface optima are derived for capacity 2 on grid/switch"
+        )
+    hop_ops, hop_t = _grid_hop(times)
+    # Steady state: an interior ancilla tours its four data traps, one
+    # diagonal (single-junction) hop apart, then needs roughly two more
+    # hops to close the tour / vacate the final data trap before the
+    # next round (the same accounting that makes the paper's Table-2
+    # "theoretic" count 36 primitives per ancilla-round at d=3).  The
+    # serial chain per round is M + R + 2H (X checks) + 4 x (hop + CX);
+    # other visitors' merges/gates/splits overlap with the tour in the
+    # expert schedule.
+    hops = sum(check.weight + 2 for check in code.checks)
+    round_time = (
+        times.measurement
+        + times.reset
+        + 2 * times.hadamard
+        + 4 * (hop_t + times.cx)
+    )
+    return OptimalEstimate(round_time, hops * hop_ops, hops * hop_t)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

@@ -1,0 +1,143 @@
+"""Translation pass: parity-check circuit -> commutation-aware gate DAG.
+
+CNOT/H/M/R are kept as composite gates (their native decomposition into
+MS + rotations is encoded in the timing and noise models), so this pass
+focuses on the *dependency structure*: a gate depends on an earlier
+gate only when they share a qubit and do not commute.  Classification
+on the shared qubit:
+
+- CX control acts as a Z-type coupling, CX target as X-type;
+- same type on the shared qubit -> the gates commute -> no edge;
+- different types, or any non-unitary op (M, R) or basis change (H),
+  -> edge.
+
+This keeps every check's CX gates mutually reorderable and lets checks
+of the same basis interleave freely across rounds, which the router
+exploits to avoid round-trip ion movements.
+"""
+
+from __future__ import annotations
+
+from ..codes.base import StabilizerCode
+from .ir import LogicalGate
+
+# How a gate acts on one of its qubits, for commutation checks.
+_Z_TYPE = "z"
+_X_TYPE = "x"
+_BLOCKING = "n"  # M, R, H: order against everything on this qubit
+
+
+def _actions(gate_kind: str, qubits: tuple[int, ...]):
+    """Yield (qubit, action-class) pairs for a gate."""
+    if gate_kind == "CX":
+        control, target = qubits
+        yield control, _Z_TYPE
+        yield target, _X_TYPE
+    else:
+        for q in qubits:
+            yield q, _BLOCKING
+
+
+class _DependencyTracker:
+    """Per-qubit history used to add only non-commuting edges."""
+
+    def __init__(self):
+        # qubit -> (last blocking gate id | None, gates since then by class)
+        self._state: dict[int, tuple[int | None, dict[str, list[int]]]] = {}
+
+    def register(self, gate: LogicalGate) -> None:
+        deps: set[int] = set()
+        for qubit, action in _actions(gate.kind, gate.qubits):
+            last_blocking, since = self._state.get(
+                qubit, (None, {_Z_TYPE: [], _X_TYPE: []})
+            )
+            if action == _BLOCKING:
+                if last_blocking is not None:
+                    deps.add(last_blocking)
+                deps.update(since[_Z_TYPE])
+                deps.update(since[_X_TYPE])
+                self._state[qubit] = (gate.id, {_Z_TYPE: [], _X_TYPE: []})
+            else:
+                if last_blocking is not None:
+                    deps.add(last_blocking)
+                conflicting = _X_TYPE if action == _Z_TYPE else _Z_TYPE
+                deps.update(since[conflicting])
+                since[action].append(gate.id)
+                self._state[qubit] = (last_blocking, since)
+        deps.discard(gate.id)
+        gate.deps = sorted(deps)
+
+
+def build_gate_dag(
+    code: StabilizerCode, rounds: int, basis: str = "Z"
+) -> list[LogicalGate]:
+    """The full memory-experiment gate DAG (prep + rounds + readout)."""
+    if basis not in ("X", "Z"):
+        raise ValueError("basis must be 'X' or 'Z'")
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    gates: list[LogicalGate] = []
+    tracker = _DependencyTracker()
+
+    def add(kind: str, qubits: tuple[int, ...], round_idx: int, layer: int) -> None:
+        gate = LogicalGate(len(gates), kind, qubits, round_idx, layer)
+        gates.append(gate)
+        tracker.register(gate)
+
+    data = [q.index for q in code.data_qubits]
+    # State preparation: reset all data; X-basis memory adds Hadamards.
+    for q in data:
+        add("R", (q,), -1, 0)
+    if basis == "X":
+        for q in data:
+            add("H", (q,), -1, 1)
+
+    num_layers = code.num_layers
+    for r in range(rounds):
+        # Emit layer-by-layer across checks so that dependency edges
+        # between anticommuting CX pairs follow the code's conflict-free
+        # layer schedule (emitting check-by-check would impose an
+        # arbitrary sequential order between neighbouring checks).
+        for check in code.checks:
+            add("R", (check.ancilla,), r, 0)
+        for check in code.checks:
+            if check.basis == "X":
+                add("H", (check.ancilla,), r, 1)
+        check_cx_ids: dict[int, list[int]] = {c.ancilla: [] for c in code.checks}
+        for layer in range(num_layers):
+            for check in code.checks:
+                if layer >= len(check.data_by_layer):
+                    continue
+                d = check.data_by_layer[layer]
+                if d is None:
+                    continue
+                pair = (d, check.ancilla) if check.basis == "Z" else (check.ancilla, d)
+                add("CX", pair, r, 2 + layer)
+                check_cx_ids[check.ancilla].append(gates[-1].id)
+        # Hook-safety barrier: an ancilla fault after the second CX of a
+        # weight-4 check spreads to whichever two data qubits come last,
+        # so the code's hook-safe layer orders are only preserved if the
+        # first half of each check's CXs precedes the second half.  The
+        # router may still permute freely *within* each half.
+        for ids in check_cx_ids.values():
+            if len(ids) < 3:
+                continue
+            half = (len(ids) + 1) // 2
+            for early in ids[:half]:
+                for late in ids[half:]:
+                    if early not in gates[late].deps:
+                        gates[late].deps.append(early)
+                        gates[late].deps.sort()
+        for check in code.checks:
+            if check.basis == "X":
+                add("H", (check.ancilla,), r, 2 + num_layers)
+        for check in code.checks:
+            add("M", (check.ancilla,), r, 3 + num_layers)
+
+    # Final data readout (H first for X-basis memory).
+    if basis == "X":
+        for q in data:
+            add("H", (q,), rounds, 0)
+    for q in data:
+        add("M", (q,), rounds, 1)
+    return gates

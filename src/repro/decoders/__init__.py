@@ -1,0 +1,21 @@
+"""Decoders for detector error models (PyMatching substitute).
+
+- :class:`DetectorGraph` — weighted syndrome graph with boundary node.
+- :class:`MwpmDecoder` — minimum-weight perfect matching (blossom).
+- :class:`UnionFindDecoder` — almost-linear union-find decoding.
+- :class:`LookupDecoder` — exhaustive oracle for small models (tests).
+"""
+
+from .graph import DetectorEdge, DetectorGraph, llr_weight
+from .lookup import LookupDecoder
+from .mwpm import MwpmDecoder
+from .union_find import UnionFindDecoder
+
+__all__ = [
+    "DetectorEdge",
+    "DetectorGraph",
+    "llr_weight",
+    "LookupDecoder",
+    "MwpmDecoder",
+    "UnionFindDecoder",
+]

@@ -1,0 +1,79 @@
+"""Minimum-weight perfect matching decoder (PyMatching substitute).
+
+The decoder pairs up flagged detectors (or matches them to the virtual
+boundary) so that the total log-likelihood weight of the implied error
+chains is minimised, then reports which logical observables those chains
+flip.  Distances come from Dijkstra over the detector graph; the
+matching itself uses networkx's blossom implementation on the complete
+graph over flagged detectors plus one boundary copy per detector (the
+standard construction: boundary copies are linked to each other with
+weight zero so unmatched-to-boundary is always available).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from .graph import DetectorGraph
+
+
+class MwpmDecoder:
+    """Decode detector samples by minimum-weight perfect matching."""
+
+    def __init__(self, graph: DetectorGraph):
+        self.graph = graph
+        graph._ensure_shortest_paths()
+
+    def decode(self, detector_sample: np.ndarray) -> int:
+        """Observable bitmask correction for one shot's detector bits."""
+        flagged = [int(d) for d in np.flatnonzero(detector_sample)]
+        if not flagged:
+            return 0
+        graph = self.graph
+        boundary = graph.boundary
+        k = len(flagged)
+
+        match_graph = nx.Graph()
+        # Nodes 0..k-1: flagged detectors. Nodes k..2k-1: boundary copies.
+        for i in range(k):
+            for j in range(i + 1, k):
+                w = graph.distance(flagged[i], flagged[j])
+                if np.isfinite(w):
+                    match_graph.add_edge(i, j, weight=-w)
+            wb = graph.distance(flagged[i], boundary)
+            if np.isfinite(wb):
+                match_graph.add_edge(i, k + i, weight=-wb)
+        for i in range(k):
+            for j in range(i + 1, k):
+                match_graph.add_edge(k + i, k + j, weight=0.0)
+
+        matching = nx.max_weight_matching(match_graph, maxcardinality=True)
+        mask = 0
+        for a, b in matching:
+            if a > b:
+                a, b = b, a
+            if a < k and b < k:
+                mask ^= graph.path_observable_mask(flagged[a], flagged[b])
+            elif a < k <= b:
+                if b - k == a:  # detector matched to its own boundary copy
+                    mask ^= graph.path_observable_mask(flagged[a], boundary)
+                # A detector matched to another detector's boundary copy
+                # cannot occur in a minimal matching (copies are only
+                # connected to their own detector and to other copies).
+        return mask
+
+    def decode_batch(self, detector_samples: np.ndarray) -> np.ndarray:
+        """Observable bitmask per shot for a (shots x detectors) array."""
+        return np.array(
+            [self.decode(row) for row in detector_samples], dtype=np.int64
+        )
+
+    def logical_failures(
+        self, detector_samples: np.ndarray, observable_samples: np.ndarray
+    ) -> np.ndarray:
+        """Per-shot bool: did decoding fail to fix observable 0?"""
+        corrections = self.decode_batch(detector_samples)
+        actual = observable_samples[:, 0].astype(np.int64)
+        predicted = corrections & 1
+        return predicted != actual

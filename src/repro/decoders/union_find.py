@@ -1,0 +1,199 @@
+"""Union-find decoder (Delfosse-Nickerson style).
+
+Almost-linear-time alternative to blossom matching: clusters grow
+outward from flagged detectors in weighted steps; clusters with even
+syndrome parity (or touching the boundary) freeze; merged clusters pool
+their parity.  A spanning-tree peeling pass then extracts a correction
+inside the grown region.  Decoding accuracy is slightly below MWPM but
+thresholds match to within a few tenths of a percent, which is why the
+paper-scale sweeps use it for the largest distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import DetectorGraph
+
+
+class _DisjointSet:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, a: int) -> int:
+        root = a
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[a] != root:
+            self.parent[a], a = root, self.parent[a]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return ra
+
+
+class UnionFindDecoder:
+    """Weighted-growth union-find decoding over a detector graph."""
+
+    def __init__(self, graph: DetectorGraph):
+        self.graph = graph
+        self._adj = graph.neighbors()
+
+    def decode(self, detector_sample: np.ndarray) -> int:
+        graph = self.graph
+        flagged = set(int(d) for d in np.flatnonzero(detector_sample))
+        if not flagged:
+            return 0
+        boundary = graph.boundary
+        n = graph.num_nodes
+        edges = graph.edges
+
+        dsu = _DisjointSet(n)
+        # Cluster bookkeeping keyed by dsu root.
+        parity = {d: 1 for d in flagged}
+        touches_boundary: set[int] = set()
+        growth = np.zeros(len(edges))          # how much of each edge is filled
+        in_cluster = np.zeros(n, dtype=bool)
+        for d in flagged:
+            in_cluster[d] = True
+        grown_edges: list[int] = []
+        fully_grown = np.zeros(len(edges), dtype=bool)
+
+        def cluster_active(root: int) -> bool:
+            return parity.get(root, 0) % 2 == 1 and root not in touches_boundary
+
+        active = {dsu.find(d) for d in flagged if cluster_active(dsu.find(d))}
+        max_rounds = 4 * len(edges) + 8
+        rounds = 0
+        while active and rounds < max_rounds:
+            rounds += 1
+            # Each edge on an active cluster's boundary grows from every
+            # active side (two-sided half-edge growth); the step is the
+            # smallest amount that completes at least one edge, so merges
+            # and freezes are processed before any over-growth.
+            frontier: list[tuple[int, int]] = []  # (edge idx, active sides)
+            for idx, edge in enumerate(edges):
+                if fully_grown[idx]:
+                    continue
+                sides = 0
+                for node in (edge.u, edge.v):
+                    if node == boundary or not in_cluster[node]:
+                        continue
+                    if dsu.find(node) in active:
+                        sides += 1
+                if sides:
+                    frontier.append((idx, sides))
+            if not frontier:
+                break
+            step = min(
+                (edges[idx].weight - growth[idx]) / sides
+                for idx, sides in frontier
+            )
+            step = max(step, 0.0)
+            newly_full: list[int] = []
+            for idx, sides in frontier:
+                growth[idx] += step * sides
+                if growth[idx] >= edges[idx].weight - 1e-12:
+                    fully_grown[idx] = True
+                    newly_full.append(idx)
+            for idx in newly_full:
+                edge = edges[idx]
+                grown_edges.append(idx)
+                for node in (edge.u, edge.v):
+                    if node == boundary:
+                        continue
+                    if not in_cluster[node]:
+                        in_cluster[node] = True
+                        parity.setdefault(dsu.find(node), 0)
+                u_is_b = edge.u == boundary
+                v_is_b = edge.v == boundary
+                if u_is_b or v_is_b:
+                    inner = edge.v if u_is_b else edge.u
+                    root = dsu.find(inner)
+                    touches_boundary.add(root)
+                else:
+                    ru, rv = dsu.find(edge.u), dsu.find(edge.v)
+                    if ru != rv:
+                        pu = parity.pop(ru, 0)
+                        pv = parity.pop(rv, 0)
+                        tb = (ru in touches_boundary) or (rv in touches_boundary)
+                        touches_boundary.discard(ru)
+                        touches_boundary.discard(rv)
+                        r = dsu.union(ru, rv)
+                        parity[r] = pu + pv
+                        if tb:
+                            touches_boundary.add(r)
+            active = set()
+            for node in np.flatnonzero(in_cluster):
+                root = dsu.find(int(node))
+                if cluster_active(root):
+                    active.add(root)
+        return self._peel(flagged, grown_edges)
+
+    def _peel(self, flagged: set[int], grown_edges: list[int]) -> int:
+        """Spanning-forest peeling inside the grown region."""
+        graph = self.graph
+        boundary = graph.boundary
+        # Build the grown subgraph.
+        adj: dict[int, list[int]] = {}
+        for idx in grown_edges:
+            edge = graph.edges[idx]
+            adj.setdefault(edge.u, []).append(idx)
+            adj.setdefault(edge.v, []).append(idx)
+
+        # Spanning forest via BFS, rooting trees at the boundary if present.
+        visited: set[int] = set()
+        tree_edges: list[tuple[int, int, int]] = []  # (parent, child, edge idx)
+        order: list[int] = []
+        roots = [boundary] if boundary in adj else []
+        roots += [n for n in adj if n != boundary]
+        for root in roots:
+            if root in visited:
+                continue
+            visited.add(root)
+            queue = [root]
+            while queue:
+                node = queue.pop()
+                order.append(node)
+                for idx in adj.get(node, ()):
+                    edge = graph.edges[idx]
+                    other = edge.v if edge.u == node else edge.u
+                    if other in visited:
+                        continue
+                    visited.add(other)
+                    tree_edges.append((node, other, idx))
+                    queue.append(other)
+
+        # Peel leaves upward: a child with odd residual parity consumes its
+        # tree edge (adding the edge's observable mask to the correction).
+        residual = {node: (1 if node in flagged else 0) for node in visited}
+        residual[boundary] = 0
+        mask = 0
+        for parent, child, idx in reversed(tree_edges):
+            if residual.get(child, 0) % 2 == 1:
+                mask ^= graph.edges[idx].observables
+                residual[child] = 0
+                if parent != boundary:
+                    residual[parent] = residual.get(parent, 0) + 1
+        return mask
+
+    def decode_batch(self, detector_samples: np.ndarray) -> np.ndarray:
+        return np.array(
+            [self.decode(row) for row in detector_samples], dtype=np.int64
+        )
+
+    def logical_failures(
+        self, detector_samples: np.ndarray, observable_samples: np.ndarray
+    ) -> np.ndarray:
+        corrections = self.decode_batch(detector_samples)
+        actual = observable_samples[:, 0].astype(np.int64)
+        return (corrections & 1) != actual

@@ -1,0 +1,68 @@
+"""Projection of logical error rates to unsampled distances.
+
+The paper's Figures 10-13 are explicitly *projections*: below
+threshold, the surface code's logical error rate follows
+``p_L(d) = A * Lambda^-((d+1)/2)``, so measuring a handful of small
+distances pins down ``A`` and ``Lambda`` and extrapolation reaches the
+1e-9 regime no Monte-Carlo sampler can visit.  We fit by least squares
+in log space and expose the two queries the figures need: p_L at a
+distance, and the distance achieving a target p_L.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LerProjection:
+    """Fitted suppression model ``p_L(d) = A * Lambda^-((d+1)/2)``."""
+
+    log_a: float
+    log_lambda: float
+
+    @property
+    def lam(self) -> float:
+        """The suppression factor per distance step of two."""
+        return math.exp(self.log_lambda)
+
+    @property
+    def below_threshold(self) -> bool:
+        return self.log_lambda > 0
+
+    def ler_at(self, distance: int | float) -> float:
+        return math.exp(self.log_a - self.log_lambda * (distance + 1) / 2.0)
+
+    def distance_for(self, target_ler: float) -> int | None:
+        """Smallest odd distance achieving ``target_ler`` (None if never)."""
+        if not self.below_threshold:
+            return None
+        d = 2.0 * (self.log_a - math.log(target_ler)) / self.log_lambda - 1.0
+        d = max(d, 1.0)
+        rounded = math.ceil(d)
+        if rounded % 2 == 0:
+            rounded += 1
+        return rounded
+
+
+def fit_projection(points: list[tuple[int, float]]) -> LerProjection:
+    """Least-squares fit of the suppression model in log space.
+
+    ``points`` are (distance, per-round logical error rate) pairs; at
+    least two distinct distances are required.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two (distance, ler) points")
+    xs = [(d + 1) / 2.0 for d, _ in points]
+    ys = [math.log(max(p, 1e-300)) for _, p in points]
+    if len(set(xs)) < 2:
+        raise ValueError("need at least two distinct distances")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    return LerProjection(log_a=intercept, log_lambda=-slope)

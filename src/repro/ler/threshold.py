@@ -1,0 +1,91 @@
+"""Code-threshold estimation utilities.
+
+The code threshold (Sec. 2) is the physical error rate below which
+increasing the code distance suppresses the logical error rate.  We
+estimate it the standard way: sweep the physical rate for two or more
+distances and locate the crossing of the LER curves — above threshold
+the larger code is *worse*, below it is better.
+
+These utilities operate on the hardware-free uniform-noise circuits of
+:func:`repro.codes.ideal_memory_circuit`; they exist to validate the
+simulation + decoding substrate against known surface-code behaviour
+(circuit-level depolarising threshold in the 0.5-1% range) and to let
+users study how the compiled QCCD noise profile compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codes.base import StabilizerCode
+from ..codes.circuits import UniformNoise, ideal_memory_circuit
+from .estimator import LerResult, estimate_logical_error_rate
+
+
+@dataclass(frozen=True)
+class ThresholdScan:
+    """LER samples on a (distance x physical-rate) grid."""
+
+    distances: tuple[int, ...]
+    physical_rates: tuple[float, ...]
+    results: dict[tuple[int, float], LerResult]
+
+    def ler(self, distance: int, rate: float) -> float:
+        return self.results[(distance, rate)].per_shot
+
+    def suppression_at(self, rate: float) -> float:
+        """LER ratio of the smallest to the largest distance at ``rate``.
+
+        > 1 means the larger code wins (below threshold).
+        """
+        lo, hi = min(self.distances), max(self.distances)
+        big = self.ler(hi, rate)
+        small = self.ler(lo, rate)
+        return small / max(big, 1e-300)
+
+    def threshold_estimate(self) -> float | None:
+        """Crossing point of the suppression curve, linearly interpolated.
+
+        Returns None when every sampled rate is on the same side.
+        """
+        rates = sorted(self.physical_rates)
+        values = [self.suppression_at(r) for r in rates]
+        for (r1, v1), (r2, v2) in zip(
+            zip(rates, values), zip(rates[1:], values[1:])
+        ):
+            if (v1 - 1.0) * (v2 - 1.0) <= 0 and v1 != v2:
+                # Linear interpolation of the crossing of v = 1.
+                t = (1.0 - v1) / (v2 - v1)
+                return r1 + t * (r2 - r1)
+        return None
+
+
+def scan_threshold(
+    code_family,
+    distances: tuple[int, ...] = (3, 5),
+    physical_rates: tuple[float, ...] = (2e-3, 5e-3, 1e-2, 2e-2),
+    rounds: int | None = None,
+    shots: int = 4000,
+    decoder: str = "mwpm",
+    basis: str = "Z",
+    seed: int = 7,
+) -> ThresholdScan:
+    """Monte-Carlo LER scan over distances and uniform physical rates.
+
+    ``code_family`` is a callable mapping a distance to a
+    :class:`StabilizerCode` (e.g. ``RotatedSurfaceCode``).
+    """
+    if len(distances) < 2:
+        raise ValueError("need at least two distances to locate a crossing")
+    results: dict[tuple[int, float], LerResult] = {}
+    for d in distances:
+        code: StabilizerCode = code_family(d)
+        r = rounds if rounds is not None else d
+        for p in physical_rates:
+            circuit = ideal_memory_circuit(
+                code, rounds=r, basis=basis, noise=UniformNoise(p)
+            )
+            results[(d, p)] = estimate_logical_error_rate(
+                circuit, rounds=r, shots=shots, decoder=decoder, seed=seed
+            )
+    return ThresholdScan(tuple(distances), tuple(physical_rates), results)

@@ -1,0 +1,25 @@
+"""Trapped-ion noise models: channels e1-e5, heating, fidelity scaling."""
+
+from .fidelity import (
+    dephasing_error,
+    measurement_error,
+    reset_error,
+    single_qubit_error,
+    thermal_factor,
+    two_qubit_error,
+)
+from .heating import HeatingLedger
+from .parameters import DEFAULT_NOISE, HeatingRates, NoiseParameters
+
+__all__ = [
+    "dephasing_error",
+    "measurement_error",
+    "reset_error",
+    "single_qubit_error",
+    "thermal_factor",
+    "two_qubit_error",
+    "HeatingLedger",
+    "DEFAULT_NOISE",
+    "HeatingRates",
+    "NoiseParameters",
+]

@@ -1,0 +1,76 @@
+"""Gate fidelity model: error probability as a function of chain state.
+
+Implements Sec. 5.1's expression — the infidelity of a qubit gate has a
+background-heating term growing with gate duration and a thermal-motion
+term ``A(N) * (2 nbar + 1)`` that transport operations inflate — plus
+the calibrated base error floor, all scaled by the gate-improvement
+factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .parameters import NoiseParameters
+
+
+def thermal_factor(a0: float, chain_length: int) -> float:
+    """A(N) = A0 * ln(N) / N, the laser-beam instability scaling."""
+    n = max(int(chain_length), 2)
+    return a0 * math.log(n) / n
+
+
+def two_qubit_error(
+    params: NoiseParameters,
+    duration_us: float,
+    chain_length: int,
+    nbar: float,
+) -> float:
+    """Depolarising probability after an MS gate (channel e3)."""
+    if params.cooled_gates:
+        return _clamp(params.cooled_p_2q / params.gate_improvement)
+    p = (
+        params.p_2q_base
+        + params.gamma_per_us * duration_us
+        + thermal_factor(params.thermal_a0, chain_length) * (2.0 * nbar + 1.0)
+    )
+    return _clamp(p / params.gate_improvement)
+
+
+def single_qubit_error(
+    params: NoiseParameters,
+    duration_us: float,
+    chain_length: int,
+    nbar: float,
+) -> float:
+    """Depolarising probability after a rotation (channel e2)."""
+    if params.cooled_gates:
+        return _clamp(params.cooled_p_1q / params.gate_improvement)
+    p = (
+        params.p_1q_base
+        + params.gamma_per_us * duration_us
+        + params.thermal_1q_fraction
+        * thermal_factor(params.thermal_a0, chain_length)
+        * (2.0 * nbar + 1.0)
+    )
+    return _clamp(p / params.gate_improvement)
+
+
+def dephasing_error(params: NoiseParameters, idle_us: float) -> float:
+    """Z-flip probability for ``idle_us`` of idling/transport (e1)."""
+    if idle_us <= 0:
+        return 0.0
+    p = (1.0 - math.exp(-idle_us / params.t2_us)) / 2.0
+    return _clamp(p / params.gate_improvement)
+
+
+def measurement_error(params: NoiseParameters) -> float:
+    return _clamp(params.p_measurement / params.gate_improvement)
+
+
+def reset_error(params: NoiseParameters) -> float:
+    return _clamp(params.p_reset / params.gate_improvement)
+
+
+def _clamp(p: float) -> float:
+    return min(max(p, 0.0), 0.75)

@@ -1,0 +1,39 @@
+"""Motional-energy ledger: tracks nbar per ion through a schedule.
+
+Transport primitives deposit quanta on the moved ion (Table 1 upper
+bounds); resets recool (optical pumping re-initialises the motional
+state); gates read the current chain energy to determine their error
+rate.  The ledger deliberately lives outside the compiler so the same
+compiled schedule can be re-evaluated under different noise models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .parameters import HeatingRates
+
+
+@dataclass
+class HeatingLedger:
+    """Per-ion vibrational quanta bookkeeping."""
+
+    rates: HeatingRates = field(default_factory=HeatingRates)
+    nbar: dict[int, float] = field(default_factory=dict)
+
+    def of(self, ion: int) -> float:
+        return self.nbar.get(ion, 0.0)
+
+    def record_movement(self, ion: int, kind: str) -> float:
+        """Apply one transport primitive's heating; returns new nbar."""
+        value = self.nbar.get(ion, 0.0) + self.rates.of(kind)
+        self.nbar[ion] = value
+        return value
+
+    def record_reset(self, ion: int) -> None:
+        """Reset recools the ion to the motional ground state."""
+        self.nbar[ion] = 0.0
+
+    def pair_nbar(self, ion_a: int, ion_b: int) -> float:
+        """Effective chain energy seen by a two-qubit gate."""
+        return (self.of(ion_a) + self.of(ion_b)) / 2.0

@@ -1,0 +1,101 @@
+"""Noise model parameters (Sec. 5.1, Table 1).
+
+Five independent stochastic channels:
+
+- e1: collective dephasing — Z errors during idling/transport with
+  ``p = (1 - exp(-t / T2)) / 2``, T2 = 2.2 s;
+- e2: depolarising noise after single-qubit rotations;
+- e3: two-qubit depolarising noise after MS gates;
+- e4: imperfect reset — X flip at p = 5e-3;
+- e5: imperfect measurement — X flip at p = 1e-3.
+
+Gate error rates e2/e3 follow the heating-aware fidelity model
+``p = p_base + Gamma * tau + A(N) * (2 nbar + 1)`` with
+``A(N) = A0 * ln(N) / N`` (thermal beam instability scaling from the
+QCCDSim model the paper adopts).  Calibration anchors the paper's
+statement that a 5x gate improvement corresponds to ~1e-3 two-qubit
+error: at N = 2, nbar = 0, 1x improvement the model gives ~5e-3.
+
+The *gate improvement* factor divides every physical error rate
+(equivalently multiplies T2), exactly as defined in Sec. 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class HeatingRates:
+    """Motional quanta deposited per transport primitive (Table 1).
+
+    Table 1 quotes nbar < 6 for the split-and-merge row (t8-t9) and
+    nbar < 3 for the junction entry/exit row (t10-t11); we read each
+    bound as covering the *pair* of primitives on its row, so a single
+    split deposits 3 quanta and a single junction crossing leg 1.5.
+    Quanta accumulate on the moved ion and are cleared when the ion is
+    reset (optical pumping recools), so heating raises the error of
+    gates that follow transport within a round without diverging across
+    rounds.
+    """
+
+    shuttle: float = 0.1
+    split: float = 3.0
+    merge: float = 3.0
+    junction_entry: float = 1.5
+    junction_exit: float = 1.5
+
+    def of(self, kind: str) -> float:
+        table = {
+            "SHUTTLE": self.shuttle,
+            "SPLIT": self.split,
+            "MERGE": self.merge,
+            "JUNCTION_ENTRY": self.junction_entry,
+            "JUNCTION_EXIT": self.junction_exit,
+        }
+        try:
+            return table[kind]
+        except KeyError:
+            raise ValueError(f"unknown movement kind {kind!r}") from None
+
+
+@dataclass(frozen=True)
+class NoiseParameters:
+    """All physical-noise knobs of the toolflow."""
+
+    t2_us: float = 2.2e6                 # coherence time (microseconds)
+    p_measurement: float = 1e-3          # e5
+    p_reset: float = 5e-3                # e4
+    # Calibration anchor (Sec. 5.1): the *effective* two-qubit error —
+    # base floor plus typical in-round transport heating (nbar ~ 50-70
+    # on the moving ancilla, i.e. pair nbar ~ 30) — is ~5e-3 at 1x
+    # improvement and ~1e-3 at 5x, the paper's stated correspondence
+    # with current Quantinuum/IonQ data sheets.
+    p_2q_base: float = 3e-3              # e3 floor at N=2, nbar=0
+    p_1q_base: float = 3e-4              # e2 floor
+    gamma_per_us: float = 2e-6           # background heating rate Gamma
+    thermal_a0: float = 5e-5             # A0 in A(N) = A0 ln(N)/N
+    thermal_1q_fraction: float = 0.1     # single-qubit motional sensitivity
+    gate_improvement: float = 1.0
+    heating: HeatingRates = HeatingRates()
+    cooled_gates: bool = False           # WISE cooling model
+    cooled_p_2q: float = 2e-3
+    cooled_p_1q: float = 3e-3
+
+    def __post_init__(self):
+        if self.gate_improvement < 1.0:
+            raise ValueError("gate improvement must be >= 1")
+        for p in (self.p_measurement, self.p_reset, self.p_2q_base, self.p_1q_base):
+            if not 0 <= p <= 1:
+                raise ValueError("probabilities must lie in [0, 1]")
+
+    def improved(self, factor: float) -> "NoiseParameters":
+        """The same model under a gate-improvement factor (Sec. 6.2)."""
+        return replace(self, gate_improvement=factor)
+
+    def with_cooling(self) -> "NoiseParameters":
+        """The WISE cooled-gate noise variant."""
+        return replace(self, cooled_gates=True)
+
+
+DEFAULT_NOISE = NoiseParameters()

@@ -1,0 +1,40 @@
+"""Stabilizer-circuit simulation substrate (Stim substitute).
+
+Public surface:
+
+- :class:`PauliString` — symplectic Pauli algebra.
+- :class:`StabilizerCircuit` — circuit IR with noise channels,
+  DETECTOR and OBSERVABLE_INCLUDE annotations (Stim-style semantics).
+- :class:`TableauSimulator` — exact Aaronson-Gottesman simulation.
+- :class:`FrameSimulator` — vectorised Pauli-frame sampling.
+- :func:`circuit_to_dem` — detector-error-model extraction.
+"""
+
+from .circuit import Instruction, StabilizerCircuit
+from .dem import DemError, DetectorErrorModel, circuit_to_dem
+from .frame import FrameSimulator, FrameState, SampleResult
+from .pauli import PauliString
+from .tableau import TableauSimulator
+from .text_format import (
+    circuit_from_text,
+    circuit_to_text,
+    load_circuit,
+    save_circuit,
+)
+
+__all__ = [
+    "Instruction",
+    "StabilizerCircuit",
+    "circuit_from_text",
+    "circuit_to_text",
+    "load_circuit",
+    "save_circuit",
+    "DemError",
+    "DetectorErrorModel",
+    "circuit_to_dem",
+    "FrameSimulator",
+    "FrameState",
+    "SampleResult",
+    "PauliString",
+    "TableauSimulator",
+]

@@ -1,0 +1,158 @@
+"""Pauli algebra over n qubits.
+
+A Pauli operator is stored in symplectic form: two boolean vectors ``x``
+and ``z`` plus an integer phase exponent (power of ``i``).  The qubit-k
+component is ``I`` when ``x[k] == z[k] == 0``, ``X`` for ``(1, 0)``,
+``Z`` for ``(0, 1)`` and ``Y`` for ``(1, 1)``.
+
+This module is the foundation the tableau simulator, the detector error
+model extraction and many tests are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_CHAR_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1), "_": (0, 0)}
+_XZ_TO_CHAR = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+_PHASE_CHARS = {0: "+", 1: "+i", 2: "-", 3: "-i"}
+
+
+class PauliString:
+    """An n-qubit Pauli operator with a global phase ``i**phase``."""
+
+    __slots__ = ("x", "z", "phase")
+
+    def __init__(self, num_qubits: int = 0, *, x=None, z=None, phase: int = 0):
+        if x is None:
+            x = np.zeros(num_qubits, dtype=bool)
+        if z is None:
+            z = np.zeros(num_qubits, dtype=bool)
+        self.x = np.asarray(x, dtype=bool).copy()
+        self.z = np.asarray(z, dtype=bool).copy()
+        if self.x.shape != self.z.shape:
+            raise ValueError("x and z supports must have equal length")
+        self.phase = phase % 4
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_str(cls, text: str) -> "PauliString":
+        """Parse e.g. ``"+XIZ"``, ``"-YY"`` or ``"iXZ"``."""
+        phase = 0
+        body = text
+        for prefix, value in (("+i", 1), ("-i", 3), ("i", 1), ("+", 0), ("-", 2)):
+            if text.startswith(prefix):
+                phase = value
+                body = text[len(prefix):]
+                break
+        n = len(body)
+        pauli = cls(n, phase=phase)
+        for k, char in enumerate(body):
+            try:
+                xk, zk = _CHAR_TO_XZ[char]
+            except KeyError:
+                raise ValueError(f"invalid Pauli character {char!r}") from None
+            pauli.x[k] = xk
+            pauli.z[k] = zk
+        return pauli
+
+    @classmethod
+    def single(cls, num_qubits: int, qubit: int, kind: str) -> "PauliString":
+        """A single-qubit Pauli ``kind`` on ``qubit`` in an n-qubit register."""
+        pauli = cls(num_qubits)
+        xk, zk = _CHAR_TO_XZ[kind]
+        pauli.x[qubit] = xk
+        pauli.z[qubit] = zk
+        return pauli
+
+    def copy(self) -> "PauliString":
+        return PauliString(x=self.x, z=self.z, phase=self.phase)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return len(self.x)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity components."""
+        return int(np.count_nonzero(self.x | self.z))
+
+    def is_identity(self) -> bool:
+        return not (self.x.any() or self.z.any())
+
+    def support(self) -> list[int]:
+        """Indices of qubits acted on non-trivially."""
+        return list(np.flatnonzero(self.x | self.z))
+
+    def component(self, qubit: int) -> str:
+        return _XZ_TO_CHAR[(int(self.x[qubit]), int(self.z[qubit]))]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True when the two operators commute (symplectic product = 0)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("operator sizes differ")
+        crossings = np.count_nonzero(self.x & other.z) + np.count_nonzero(self.z & other.x)
+        return crossings % 2 == 0
+
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        """Operator product ``self @ other`` (self applied after other)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("operator sizes differ")
+        # Phase bookkeeping: multiplying component-wise picks up i**g where
+        # g counts anticommuting reorderings.  Using the standard formula
+        # for (x1,z1)*(x2,z2) composed component-wise.
+        phase = self.phase + other.phase
+        phase += _pauli_product_phase(self.x, self.z, other.x, other.z)
+        return PauliString(
+            x=self.x ^ other.x,
+            z=self.z ^ other.z,
+            phase=phase % 4,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self.phase == other.phase
+            and np.array_equal(self.x, other.x)
+            and np.array_equal(self.z, other.z)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.phase, self.x.tobytes(), self.z.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"PauliString({str(self)!r})"
+
+    def __str__(self) -> str:
+        body = "".join(
+            _XZ_TO_CHAR[(int(xk), int(zk))] for xk, zk in zip(self.x, self.z)
+        )
+        return _PHASE_CHARS[self.phase] + body
+
+
+def _pauli_product_phase(x1, z1, x2, z2) -> int:
+    """Exponent of i picked up when multiplying (x1,z1) by (x2,z2).
+
+    Per-qubit lookup of the phase of sigma_a * sigma_b, summed mod 4.
+    Uses the identity employed by Aaronson-Gottesman's tableau update.
+    """
+    x1 = x1.astype(np.int8)
+    z1 = z1.astype(np.int8)
+    x2 = x2.astype(np.int8)
+    z2 = z2.astype(np.int8)
+    # g per qubit: contribution in {-1, 0, +1} doubled into i-exponent
+    g = (
+        x1 * z1 * (z2 - x2)
+        + x1 * (1 - z1) * z2 * (2 * x2 - 1)
+        + (1 - x1) * z1 * x2 * (1 - 2 * z2)
+    )
+    return int(g.sum()) % 4

@@ -1,0 +1,15 @@
+"""Design-space exploration toolflow (the paper's Figure 2 pipeline)."""
+
+from .explorer import DesignSpaceExplorer
+from .records import EvaluationRecord
+from .report import format_table, ratio
+from .sensitivity import SensitivityEntry, sensitivity_analysis
+
+__all__ = [
+    "DesignSpaceExplorer",
+    "EvaluationRecord",
+    "format_table",
+    "ratio",
+    "SensitivityEntry",
+    "sensitivity_analysis",
+]

@@ -1,0 +1,149 @@
+"""Command-line interface for the design-space exploration toolflow.
+
+Usage examples::
+
+    python -m repro.toolflow.cli evaluate --distance 3 --capacity 2
+    python -m repro.toolflow.cli sweep --distances 3 5 --capacities 2 5 \\
+        --topology grid --csv results.csv
+    python -m repro.toolflow.cli project --distances 3 5 \\
+        --improvement 5 --shots 8000 --target 1e-9
+
+``evaluate`` runs one design point (optionally with a Monte-Carlo LER
+estimate), ``sweep`` tabulates a grid of design points, ``project``
+fits the suppression model and reports the code distance needed for a
+target logical error rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+from ..ler.projection import fit_projection
+from .explorer import DesignSpaceExplorer
+from .report import format_table
+
+_RECORD_COLUMNS = [
+    "code", "d", "cap", "topo", "wiring", "improve",
+    "round_us", "move_ops", "electrodes", "dacs", "Gbit/s", "W", "ler_round",
+]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--code", default="rotated_surface",
+                        choices=["rotated_surface", "unrotated_surface", "repetition"])
+    parser.add_argument("--topology", default="grid",
+                        choices=["grid", "linear", "switch"])
+    parser.add_argument("--wiring", default="standard",
+                        choices=["standard", "wise"])
+    parser.add_argument("--improvement", type=float, default=1.0)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--shots", type=int, default=0,
+                        help="Monte-Carlo shots for LER (0 = skip)")
+    parser.add_argument("--decoder", default="mwpm",
+                        choices=["mwpm", "union_find"])
+    parser.add_argument("--seed", type=int, default=2026)
+
+
+def _evaluate_records(args, distances, capacities):
+    explorer = DesignSpaceExplorer(code_name=args.code, seed=args.seed)
+    records = []
+    for d in distances:
+        for cap in capacities:
+            records.append(
+                explorer.evaluate(
+                    d,
+                    capacity=cap,
+                    topology=args.topology,
+                    wiring=args.wiring,
+                    gate_improvement=args.improvement,
+                    rounds=args.rounds,
+                    shots=args.shots,
+                    decoder=args.decoder,
+                )
+            )
+    return records
+
+
+def _print_records(records, csv_path=None, out=None):
+    out = out if out is not None else sys.stdout
+    rows = [[rec.as_row()[col] for col in _RECORD_COLUMNS] for rec in records]
+    print(format_table(_RECORD_COLUMNS, rows), file=out)
+    if csv_path:
+        with open(csv_path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(_RECORD_COLUMNS)
+            writer.writerows(rows)
+        print(f"wrote {len(rows)} rows to {csv_path}", file=out)
+
+
+def cmd_evaluate(args) -> int:
+    records = _evaluate_records(args, [args.distance], [args.capacity])
+    _print_records(records, args.csv)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    records = _evaluate_records(args, args.distances, args.capacities)
+    _print_records(records, args.csv)
+    return 0
+
+
+def cmd_project(args) -> int:
+    if args.shots <= 0:
+        print("project requires --shots > 0", file=sys.stderr)
+        return 2
+    records = _evaluate_records(args, args.distances, [args.capacity])
+    points = [(r.distance, r.ler_per_round) for r in records]
+    projection = fit_projection(points)
+    _print_records(records, args.csv)
+    print(f"Lambda = {projection.lam:.3f} "
+          f"({'below' if projection.below_threshold else 'above'} threshold)")
+    d = projection.distance_for(args.target)
+    if d is None:
+        print(f"target {args.target:g} unreachable (above threshold)")
+    else:
+        print(f"distance for {args.target:g}: d = {d} "
+              f"(projected p_L = {projection.ler_at(d):.2e})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.toolflow",
+        description="QCCD surface-code design-space exploration (Figure 2)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eval = sub.add_parser("evaluate", help="one design point")
+    p_eval.add_argument("--distance", type=int, required=True)
+    p_eval.add_argument("--capacity", type=int, default=2)
+    p_eval.add_argument("--csv", default=None)
+    _add_common(p_eval)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_sweep = sub.add_parser("sweep", help="grid of design points")
+    p_sweep.add_argument("--distances", type=int, nargs="+", required=True)
+    p_sweep.add_argument("--capacities", type=int, nargs="+", default=[2])
+    p_sweep.add_argument("--csv", default=None)
+    _add_common(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_proj = sub.add_parser("project", help="fit and extrapolate LER")
+    p_proj.add_argument("--distances", type=int, nargs="+", required=True)
+    p_proj.add_argument("--capacity", type=int, default=2)
+    p_proj.add_argument("--target", type=float, default=1e-9)
+    p_proj.add_argument("--csv", default=None)
+    _add_common(p_proj)
+    p_proj.set_defaults(func=cmd_project)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Design-space exploration toolflow (Figure 2).
+
+``DesignSpaceExplorer.evaluate`` runs one design point through the
+whole stack: compile -> schedule -> resource model -> (optionally)
+noisy-circuit export, DEM extraction, decoding, LER estimate.  The
+sweep helpers drive the figure-level experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.wiring import WiringMethod, wiring_by_name
+from ..codes import make_code
+from ..core.compiler import CompilerConfig, QccdCompiler
+from ..core.stim_export import program_to_circuit
+from ..ler.estimator import estimate_logical_error_rate
+from ..ler.projection import LerProjection, fit_projection
+from ..noise.parameters import DEFAULT_NOISE, NoiseParameters
+from .records import EvaluationRecord
+
+
+@dataclass
+class DesignSpaceExplorer:
+    """Sweeps QCCD design points for one QEC code family."""
+
+    code_name: str = "rotated_surface"
+    noise: NoiseParameters = field(default_factory=lambda: DEFAULT_NOISE)
+    seed: int = 2026
+
+    def evaluate(
+        self,
+        distance: int,
+        capacity: int = 2,
+        topology: str = "grid",
+        wiring: str | WiringMethod = "standard",
+        gate_improvement: float = 1.0,
+        rounds: int | None = None,
+        shots: int = 0,
+        decoder: str = "mwpm",
+        basis: str = "Z",
+    ) -> EvaluationRecord:
+        """Run one design point through the Figure-2 pipeline."""
+        wiring_method = (
+            wiring if isinstance(wiring, WiringMethod) else wiring_by_name(wiring)
+        )
+        rounds = rounds if rounds is not None else distance
+        code = make_code(self.code_name, distance)
+        config = CompilerConfig(
+            code=code,
+            trap_capacity=capacity,
+            topology=topology,
+            wiring=wiring_method,
+            rounds=rounds,
+            basis=basis,
+        )
+        compiler = QccdCompiler(config)
+        program = compiler.compile()
+        placement = compiler.placement()
+        resources = wiring_method.resources(placement.device)
+
+        record = EvaluationRecord(
+            code=self.code_name,
+            distance=distance,
+            capacity=capacity,
+            topology=topology,
+            wiring=wiring_method.name,
+            gate_improvement=gate_improvement,
+            rounds=rounds,
+            round_time_us=program.stats.round_time_us,
+            makespan_us=program.stats.makespan_us,
+            movement_ops=program.stats.movement_ops,
+            movement_time_us=program.stats.movement_time_us,
+            gate_swaps=program.stats.gate_swaps,
+            num_traps=resources.num_traps,
+            num_junctions=resources.num_junctions,
+            electrodes=resources.electrodes,
+            num_dacs=resources.num_dacs,
+            data_rate_bitps=resources.data_rate_bitps,
+            power_w=resources.power_w,
+        )
+
+        if shots > 0:
+            noise = self.noise.improved(gate_improvement)
+            if wiring_method.cooled_gates:
+                noise = noise.with_cooling()
+            export = program_to_circuit(program, code, noise, basis=basis)
+            result = estimate_logical_error_rate(
+                export.circuit,
+                rounds=rounds,
+                shots=shots,
+                decoder=decoder,
+                seed=self.seed,
+            )
+            record.shots = result.shots
+            record.failures = result.failures
+            record.ler_per_shot = result.per_shot
+            record.ler_per_round = result.per_round
+            record.extras["max_nbar"] = export.max_nbar
+        return record
+
+    # ------------------------------------------------------------------
+    # Figure-level sweeps
+    # ------------------------------------------------------------------
+    def sweep_distances(
+        self,
+        distances: list[int],
+        shots: int = 0,
+        **kwargs,
+    ) -> list[EvaluationRecord]:
+        return [self.evaluate(d, shots=shots, **kwargs) for d in distances]
+
+    def ler_projection(
+        self,
+        distances: list[int],
+        shots: int = 2000,
+        **kwargs,
+    ) -> tuple[list[EvaluationRecord], LerProjection]:
+        """Measure small distances, fit the suppression model (Fig 10)."""
+        records = self.sweep_distances(distances, shots=shots, **kwargs)
+        points = [
+            (r.distance, r.ler_per_round)
+            for r in records
+            if r.ler_per_round is not None
+        ]
+        return records, fit_projection(points)

@@ -1,0 +1,97 @@
+"""Tests for the stabilizer circuit IR."""
+
+import pytest
+
+from repro.sim import StabilizerCircuit
+
+
+class TestAppendValidation:
+    def test_unknown_instruction_rejected(self):
+        circ = StabilizerCircuit()
+        with pytest.raises(ValueError):
+            circ.append("T", (0,))
+
+    def test_two_qubit_gate_needs_pairs(self):
+        circ = StabilizerCircuit()
+        with pytest.raises(ValueError):
+            circ.append("CX", (0, 1, 2))
+
+    def test_noise_needs_probability(self):
+        circ = StabilizerCircuit()
+        with pytest.raises(ValueError):
+            circ.append("X_ERROR", (0,))
+        with pytest.raises(ValueError):
+            circ.append("X_ERROR", (0,), (1.5,))
+
+    def test_pauli_channel_takes_three_args(self):
+        circ = StabilizerCircuit()
+        circ.append("PAULI_CHANNEL_1", (0,), (0.1, 0.0, 0.2))
+        with pytest.raises(ValueError):
+            circ.append("PAULI_CHANNEL_1", (0,), (0.1,))
+
+    def test_detector_offsets_must_be_negative(self):
+        circ = StabilizerCircuit()
+        circ.append("M", (0,))
+        with pytest.raises(ValueError):
+            circ.append("DETECTOR", (0,))
+
+    def test_detector_cannot_reach_past_record(self):
+        circ = StabilizerCircuit()
+        circ.append("M", (0,))
+        with pytest.raises(ValueError):
+            circ.append("DETECTOR", (-2,))
+
+    def test_qubit_indices_nonnegative(self):
+        circ = StabilizerCircuit()
+        with pytest.raises(ValueError):
+            circ.append("H", (-1,))
+
+
+class TestBookkeeping:
+    def build(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0, 1, 2))
+        circ.append("H", (0,))
+        circ.append("CX", (0, 1))
+        circ.append("DEPOLARIZE2", (0, 1), (0.01,))
+        circ.append("M", (0, 1))
+        circ.append("DETECTOR", (-2,))
+        circ.append("DETECTOR", (-1, -2))
+        circ.append("M", (2,))
+        circ.append("OBSERVABLE_INCLUDE", (-1,), (0,))
+        return circ
+
+    def test_counts(self):
+        circ = self.build()
+        assert circ.num_qubits == 3
+        assert circ.num_measurements == 3
+        assert circ.num_detectors == 2
+        assert circ.num_observables == 1
+
+    def test_detector_records_absolute(self):
+        circ = self.build()
+        assert circ.detector_records() == [[0], [1, 0]]
+
+    def test_observable_records(self):
+        circ = self.build()
+        assert circ.observable_records() == {0: [2]}
+
+    def test_without_noise_strips_channels(self):
+        circ = self.build()
+        clean = circ.without_noise()
+        assert clean.count("DEPOLARIZE2") == 0
+        assert clean.num_measurements == circ.num_measurements
+        assert clean.num_detectors == circ.num_detectors
+
+    def test_extend_and_copy_preserve_equality(self):
+        circ = self.build()
+        dup = circ.copy()
+        assert dup == circ
+        assert dup is not circ
+
+    def test_str_renders_rec_targets(self):
+        circ = StabilizerCircuit()
+        circ.append("M", (4,))
+        circ.append("DETECTOR", (-1,))
+        assert "rec[-1]" in str(circ)
+        assert "M 4" in str(circ)

@@ -1,0 +1,77 @@
+"""CLI tests for the toolflow command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.toolflow.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_args(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--distance", "3", "--capacity", "5",
+             "--topology", "linear"]
+        )
+        assert args.distance == 3
+        assert args.capacity == 5
+        assert args.topology == "linear"
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "--distances", "3", "5", "--capacities", "2", "3"]
+        )
+        assert args.distances == [3, 5]
+        assert args.capacities == [2, 3]
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--distance", "3", "--topology", "torus"]
+            )
+
+
+class TestCommands:
+    def test_evaluate_runs(self, capsys):
+        code = main(["evaluate", "--distance", "2", "--capacity", "2",
+                     "--rounds", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round_us" in out
+        assert "rotated_surface" in out
+
+    def test_sweep_writes_csv(self, tmp_path, capsys):
+        path = tmp_path / "sweep.csv"
+        code = main([
+            "sweep", "--distances", "2", "--capacities", "2", "3",
+            "--rounds", "2", "--csv", str(path),
+        ])
+        assert code == 0
+        rows = list(csv.reader(path.open()))
+        assert rows[0][0] == "code"
+        assert len(rows) == 3  # header + 2 design points
+
+    def test_project_requires_shots(self, capsys):
+        code = main(["project", "--distances", "2", "3"])
+        assert code == 2
+
+    def test_project_runs(self, capsys):
+        code = main([
+            "project", "--distances", "2", "3", "--rounds", "2",
+            "--shots", "400", "--improvement", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Lambda" in out
+
+    def test_repetition_linear_sweep(self, capsys):
+        code = main([
+            "sweep", "--distances", "3", "--capacities", "2",
+            "--code", "repetition", "--topology", "linear", "--rounds", "2",
+        ])
+        assert code == 0
+        assert "repetition" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""End-to-end compiler tests: pipeline, stats, steady-state rounds."""
+
+import pytest
+
+from repro.arch import STANDARD_WIRING, WISE_WIRING
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.core import (
+    CompilerConfig,
+    QccdCompiler,
+    compile_memory_experiment,
+    steady_round_time,
+)
+
+
+class TestCompiledProgram:
+    def test_basic_compile(self):
+        program = compile_memory_experiment(
+            RepetitionCode(3), trap_capacity=2, topology="linear", rounds=2
+        )
+        assert program.rounds == 2
+        assert program.stats.makespan_us > 0
+        assert program.stats.num_gates > 0
+        assert len(program.start) == len(program.ops)
+
+    def test_start_times_respect_deps(self):
+        program = compile_memory_experiment(
+            RotatedSurfaceCode(2), trap_capacity=2, topology="grid", rounds=2
+        )
+        for op in program.ops:
+            for dep in op.deps:
+                assert program.start[op.id] >= program.end(dep) - 1e-9
+
+    def test_ops_in_time_order_sorted(self):
+        program = compile_memory_experiment(
+            RepetitionCode(3), trap_capacity=2, topology="linear"
+        )
+        ordered = program.ops_in_time_order()
+        starts = [program.start[op.id] for op in ordered]
+        assert starts == sorted(starts)
+
+    def test_stats_consistency(self):
+        program = compile_memory_experiment(
+            RotatedSurfaceCode(3), trap_capacity=2, topology="grid", rounds=2
+        )
+        stats = program.stats
+        movement = sum(1 for op in program.ops if op.is_movement)
+        swaps = sum(1 for op in program.ops if op.kind == "SWAP")
+        assert stats.movement_ops == movement + swaps
+        assert stats.gate_swaps == swaps
+        assert stats.round_time_us == pytest.approx(stats.makespan_us / 2)
+        assert sum(stats.ops_by_kind.values()) == len(program.ops)
+
+    def test_single_chain_program_has_no_movement(self):
+        code = RepetitionCode(3)
+        program = compile_memory_experiment(
+            code, trap_capacity=code.num_qubits + 1, topology="linear"
+        )
+        assert program.stats.movement_ops == 0
+        assert program.stats.movement_time_us == 0
+
+
+class TestArchitecturalTrends:
+    """The paper's headline claims, as regression tests."""
+
+    def test_capacity2_grid_round_time_constant_in_distance(self):
+        """Figure 9: capacity 2 gives distance-independent cycle time."""
+        times = [
+            steady_round_time(RotatedSurfaceCode(d), 2, "grid")
+            for d in (3, 5, 7)
+        ]
+        assert max(times) / min(times) < 1.6
+
+    def test_higher_capacity_round_time_grows(self):
+        """Figure 9: larger traps serialise and slow down with distance."""
+        t3 = steady_round_time(RotatedSurfaceCode(3), 12, "grid")
+        t7 = steady_round_time(RotatedSurfaceCode(7), 12, "grid")
+        assert t7 > 1.8 * t3
+
+    def test_capacity2_beats_large_capacity_at_scale(self):
+        d = 7
+        t2 = steady_round_time(RotatedSurfaceCode(d), 2, "grid")
+        t12 = steady_round_time(RotatedSurfaceCode(d), 12, "grid")
+        assert t2 < t12
+
+    def test_linear_topology_much_slower(self):
+        """Figure 8a: linear routing congestion dominates."""
+        d = 5
+        grid = steady_round_time(RotatedSurfaceCode(d), 2, "grid")
+        linear = steady_round_time(RotatedSurfaceCode(d), 2, "linear")
+        assert linear > 4 * grid
+
+    def test_switch_comparable_to_grid(self):
+        """Figure 8a: grid matches the idealised all-to-all switch."""
+        d = 5
+        grid = steady_round_time(RotatedSurfaceCode(d), 2, "grid")
+        switch = steady_round_time(RotatedSurfaceCode(d), 2, "switch")
+        assert grid < 3 * switch  # same order of magnitude
+
+    def test_wise_at_least_several_times_slower(self):
+        """Figure 13b: WISE trades clock speed for wiring simplicity."""
+        code = RotatedSurfaceCode(3)
+        std = compile_memory_experiment(
+            code, 2, "grid", STANDARD_WIRING, rounds=2
+        ).stats.makespan_us
+        wise = compile_memory_experiment(
+            code, 2, "grid", WISE_WIRING, rounds=2
+        ).stats.makespan_us
+        assert wise > 3 * std
+
+
+class TestConfig:
+    def test_operation_times_follow_wiring(self):
+        config = CompilerConfig(code=RepetitionCode(2), wiring=WISE_WIRING)
+        assert config.operation_times().cooling_overhead_2q == 850
+
+    def test_steady_round_time_validates_probes(self):
+        with pytest.raises(ValueError):
+            steady_round_time(
+                RepetitionCode(2), 2, "linear", probe_rounds=(4, 2)
+            )
+
+    def test_compiler_is_deterministic(self):
+        a = compile_memory_experiment(RotatedSurfaceCode(3), 2, "grid", rounds=2)
+        b = compile_memory_experiment(RotatedSurfaceCode(3), 2, "grid", rounds=2)
+        assert a.stats.makespan_us == b.stats.makespan_us
+        assert [op.kind for op in a.ops] == [op.kind for op in b.ops]

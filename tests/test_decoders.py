@@ -1,0 +1,177 @@
+"""Decoder tests: graph construction, MWPM, union-find, lookup oracle."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    RepetitionCode,
+    RotatedSurfaceCode,
+    UniformNoise,
+    ideal_memory_circuit,
+)
+from repro.decoders import (
+    DetectorGraph,
+    LookupDecoder,
+    MwpmDecoder,
+    UnionFindDecoder,
+    llr_weight,
+)
+from repro.sim import DemError, DetectorErrorModel, FrameSimulator, circuit_to_dem
+
+
+def _line_graph(n=4, p=0.05):
+    """Repetition-code-like detector line with boundary at both ends."""
+    dem = DetectorErrorModel(n, 1)
+    dem.errors.append(DemError((0,), (0,), p))       # boundary edge, logical
+    for i in range(n - 1):
+        dem.errors.append(DemError((i, i + 1), (), p))
+    dem.errors.append(DemError((n - 1,), (), p))     # other boundary
+    return DetectorGraph.from_dem(dem)
+
+
+class TestDetectorGraph:
+    def test_weights_are_llr(self):
+        graph = _line_graph(p=0.05)
+        for edge in graph.edges:
+            assert edge.weight == pytest.approx(llr_weight(0.05))
+
+    def test_edge_count(self):
+        graph = _line_graph(4)
+        assert len(graph.edges) == 5  # 3 internal + 2 boundary
+
+    def test_rejects_hyperedges(self):
+        dem = DetectorErrorModel(3, 0, [DemError((0, 1, 2), (), 0.1)])
+        with pytest.raises(ValueError):
+            DetectorGraph.from_dem(dem)
+
+    def test_parallel_edges_fold(self):
+        dem = DetectorErrorModel(2, 0)
+        dem.errors.append(DemError((0, 1), (), 0.1))
+        dem.errors.append(DemError((0, 1), (), 0.1))
+        graph = DetectorGraph.from_dem(dem)
+        assert len(graph.edges) == 1
+        assert graph.edges[0].probability == pytest.approx(0.18)
+
+    def test_distance_and_path_mask(self):
+        graph = _line_graph(4, p=0.05)
+        w = llr_weight(0.05)
+        # 0 and 3 connect through the boundary node (2 edges), which is
+        # equivalent to matching each endpoint to its own boundary.
+        assert graph.distance(0, 3) == pytest.approx(2 * w)
+        assert graph.distance(1, 2) == pytest.approx(w)
+        assert graph.distance(0, graph.boundary) == pytest.approx(w)
+        # Path 1 -> left boundary crosses the logical edge.
+        assert graph.path_observable_mask(1, graph.boundary) in (0, 1)
+
+    def test_floor_probability(self):
+        dem = DetectorErrorModel(1, 1)
+        dem.errors.append(DemError((), (0,), 0.01))
+        graph = DetectorGraph.from_dem(dem)
+        assert graph.floor_probability() == pytest.approx(0.01)
+
+
+class TestMwpmDecoder:
+    def test_empty_syndrome_no_correction(self):
+        dec = MwpmDecoder(_line_graph())
+        assert dec.decode(np.zeros(4, dtype=bool)) == 0
+
+    def test_single_flag_matches_to_boundary(self):
+        graph = _line_graph(4)
+        dec = MwpmDecoder(graph)
+        syndrome = np.zeros(4, dtype=bool)
+        syndrome[0] = True  # nearest boundary is the logical edge
+        assert dec.decode(syndrome) == 1
+
+    def test_pair_matches_internally(self):
+        graph = _line_graph(4)
+        dec = MwpmDecoder(graph)
+        syndrome = np.zeros(4, dtype=bool)
+        syndrome[1] = syndrome[2] = True
+        # Internal match crosses no logical edge.
+        assert dec.decode(syndrome) == 0
+
+    def test_far_flag_prefers_near_boundary(self):
+        graph = _line_graph(4)
+        dec = MwpmDecoder(graph)
+        syndrome = np.zeros(4, dtype=bool)
+        syndrome[3] = True
+        assert dec.decode(syndrome) == 0  # right boundary, no logical
+
+
+class TestDecoderAccuracy:
+    @pytest.fixture(scope="class")
+    def repetition_setup(self):
+        code = RepetitionCode(3)
+        circ = ideal_memory_circuit(code, rounds=3, noise=UniformNoise(0.01))
+        dem = circuit_to_dem(circ)
+        graph = DetectorGraph.from_dem(dem)
+        sample = FrameSimulator(circ, seed=42).sample(3000)
+        return dem, graph, sample
+
+    def test_mwpm_suppresses_repetition_errors(self, repetition_setup):
+        _, graph, sample = repetition_setup
+        dec = MwpmDecoder(graph)
+        fails = dec.logical_failures(sample.detectors, sample.observables)
+        # Raw (undecoded) failure rate for comparison.
+        raw = sample.observables[:, 0].mean()
+        assert fails.mean() < raw
+        assert fails.mean() < 0.01
+
+    def test_union_find_close_to_mwpm(self, repetition_setup):
+        _, graph, sample = repetition_setup
+        mwpm = MwpmDecoder(graph).logical_failures(
+            sample.detectors, sample.observables
+        )
+        uf = UnionFindDecoder(graph).logical_failures(
+            sample.detectors, sample.observables
+        )
+        # Union-find trades accuracy for speed; it must still decode far
+        # better than chance and within an order of magnitude of MWPM.
+        assert uf.mean() <= max(10 * mwpm.mean(), 0.04)
+
+    def test_lookup_oracle_at_least_as_good_on_weight1(self, repetition_setup):
+        dem, graph, sample = repetition_setup
+        lookup = LookupDecoder(dem, max_weight=1)
+        mwpm = MwpmDecoder(graph)
+        # Compare on shots with at most 2 flagged detectors.
+        light = sample.detectors.sum(axis=1) <= 2
+        dets = sample.detectors[light][:200]
+        obs = sample.observables[light][:200]
+        lk = (lookup.decode_batch(dets) & 1) != obs[:, 0]
+        mw = (mwpm.decode_batch(dets) & 1) != obs[:, 0]
+        assert lk.mean() <= mw.mean() + 0.05
+
+    def test_surface_code_distance_suppression(self):
+        """LER decreases with distance below threshold (MWPM)."""
+        rates = []
+        for d in (3, 5):
+            code = RotatedSurfaceCode(d)
+            circ = ideal_memory_circuit(code, rounds=d, noise=UniformNoise(0.003))
+            graph = DetectorGraph.from_dem(circuit_to_dem(circ))
+            sample = FrameSimulator(circ, seed=7).sample(2500)
+            fails = MwpmDecoder(graph).logical_failures(
+                sample.detectors, sample.observables
+            )
+            rates.append((fails.sum() + 0.5) / (len(fails) + 1))
+        assert rates[1] < rates[0]
+
+
+class TestLookupDecoder:
+    def test_rejects_bad_weight(self):
+        dem = DetectorErrorModel(1, 0, [DemError((0,), (), 0.1)])
+        with pytest.raises(ValueError):
+            LookupDecoder(dem, max_weight=0)
+
+    def test_exact_on_single_errors(self):
+        dem = DetectorErrorModel(2, 1)
+        dem.errors.append(DemError((0,), (0,), 0.1))
+        dem.errors.append(DemError((1,), (), 0.1))
+        dec = LookupDecoder(dem, max_weight=1)
+        assert dec.decode(np.array([True, False])) == 1
+        assert dec.decode(np.array([False, True])) == 0
+        assert dec.decode(np.array([False, False])) == 0
+
+    def test_unknown_syndrome_abstains(self):
+        dem = DetectorErrorModel(3, 1, [DemError((0,), (0,), 0.1)])
+        dec = LookupDecoder(dem, max_weight=1)
+        assert dec.decode(np.array([True, True, True])) == 0

@@ -1,0 +1,155 @@
+"""Detector error model extraction tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import RepetitionCode, RotatedSurfaceCode, UniformNoise, ideal_memory_circuit
+from repro.sim import (
+    DemError,
+    DetectorErrorModel,
+    FrameSimulator,
+    StabilizerCircuit,
+    circuit_to_dem,
+)
+
+
+def _simple_circuit(p=0.1):
+    """One qubit, one error location, two measurements -> one detector."""
+    circ = StabilizerCircuit()
+    circ.append("R", (0,))
+    circ.append("M", (0,))
+    circ.append("X_ERROR", (0,), (p,))
+    circ.append("M", (0,))
+    circ.append("DETECTOR", (-1, -2))
+    return circ
+
+
+class TestBasicExtraction:
+    def test_single_mechanism(self):
+        dem = circuit_to_dem(_simple_circuit(0.1))
+        assert dem.num_errors == 1
+        err = dem.errors[0]
+        assert err.detectors == (0,)
+        assert err.observables == ()
+        assert err.probability == pytest.approx(0.1)
+
+    def test_noiseless_circuit_gives_empty_model(self):
+        circ = _simple_circuit(0.0)
+        # p=0 channels produce no mechanisms once merged.
+        dem = circuit_to_dem(circ)
+        assert dem.num_errors == 0
+
+    def test_z_error_before_z_measurement_invisible(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("M", (0,))
+        circ.append("Z_ERROR", (0,), (0.2,))
+        circ.append("M", (0,))
+        circ.append("DETECTOR", (-1, -2))
+        dem = circuit_to_dem(circ)
+        assert dem.num_errors == 0
+
+    def test_observable_only_mechanism_kept(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("X_ERROR", (0,), (0.05,))
+        circ.append("M", (0,))
+        circ.append("OBSERVABLE_INCLUDE", (-1,), (0,))
+        dem = circuit_to_dem(circ)
+        assert dem.num_errors == 1
+        assert dem.errors[0].detectors == ()
+        assert dem.errors[0].observables == (0,)
+
+    def test_merging_combines_same_symptoms(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("M", (0,))
+        circ.append("X_ERROR", (0,), (0.1,))
+        circ.append("X_ERROR", (0,), (0.1,))
+        circ.append("M", (0,))
+        circ.append("DETECTOR", (-1, -2))
+        dem = circuit_to_dem(circ)
+        assert dem.num_errors == 1
+        # Two p=0.1 sources fold to 0.1*0.9 + 0.9*0.1 = 0.18.
+        assert dem.errors[0].probability == pytest.approx(0.18)
+
+    def test_depolarize2_produces_pair_mechanisms(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0, 1))
+        circ.append("M", (0, 1))
+        circ.append("DEPOLARIZE2", (0, 1), (0.15,))
+        circ.append("M", (0, 1))
+        circ.append("DETECTOR", (-2, -4))
+        circ.append("DETECTOR", (-1, -3))
+        dem = circuit_to_dem(circ)
+        # Symptom classes: flip q0 only, q1 only, both: 3 entries.
+        assert dem.num_errors == 3
+        by_dets = {e.detectors: e.probability for e in dem.errors}
+        # 4 of 15 components flip q0 only (XI, YI, XZ, YZ); independent
+        # sources fold as p = (1 - (1 - 2 p0)^4) / 2 with p0 = p/15.
+        p0 = 0.15 / 15
+        folded = (1 - (1 - 2 * p0) ** 4) / 2
+        assert by_dets[(0,)] == pytest.approx(folded, rel=1e-6)
+        assert by_dets[(1,)] == pytest.approx(folded, rel=1e-6)
+        assert by_dets[(0, 1)] == pytest.approx(folded, rel=1e-6)
+
+
+class TestMergedModel:
+    def test_merged_is_idempotent(self):
+        dem = circuit_to_dem(_simple_circuit(0.2))
+        merged = dem.merged()
+        assert merged.merged().errors == merged.errors
+
+    def test_merged_drops_zero_probability(self):
+        dem = DetectorErrorModel(2, 1, [DemError((0,), (), 0.0)])
+        assert dem.merged().num_errors == 0
+
+
+class TestAgainstSampling:
+    """DEM probabilities must reproduce sampled detector statistics."""
+
+    @given(st.floats(0.01, 0.3))
+    @settings(max_examples=10, deadline=None)
+    def test_single_detector_rate_matches(self, p):
+        circ = _simple_circuit(p)
+        dem = circuit_to_dem(circ)
+        sample = FrameSimulator(circ, seed=3).sample(30000)
+        rate = sample.detectors[:, 0].mean()
+        assert abs(rate - p) < 0.02
+
+    def test_repetition_code_detector_rates(self):
+        code = RepetitionCode(3)
+        circ = ideal_memory_circuit(code, rounds=3, noise=UniformNoise(0.01))
+        dem = circuit_to_dem(circ)
+        # Predicted marginal detector rates from independent mechanisms.
+        num_det = circ.num_detectors
+        predicted = np.zeros(num_det)
+        for err in dem.errors:
+            for det in err.detectors:
+                predicted[det] = (
+                    predicted[det] * (1 - err.probability)
+                    + err.probability * (1 - predicted[det])
+                )
+        sample = FrameSimulator(circ, seed=9).sample(40000)
+        measured = sample.detectors.mean(axis=0)
+        assert np.all(np.abs(measured - predicted) < 0.01)
+
+    def test_surface_code_dem_is_graphlike_after_decomposition(self):
+        code = RotatedSurfaceCode(3)
+        circ = ideal_memory_circuit(code, rounds=3, noise=UniformNoise(0.005))
+        dem = circuit_to_dem(circ, decompose=True)
+        assert dem.num_errors > 100
+        assert all(err.is_graphlike() for err in dem.errors)
+
+    def test_surface_code_observable_flips_predicted(self):
+        """Mechanisms flipping the observable with no detectors are absent
+        in a proper memory circuit (every single error is detectable)."""
+        code = RotatedSurfaceCode(3)
+        circ = ideal_memory_circuit(code, rounds=3, noise=UniformNoise(0.005))
+        dem = circuit_to_dem(circ)
+        silent_logical = [
+            e for e in dem.errors if not e.detectors and e.observables
+        ]
+        assert silent_logical == []

@@ -1,0 +1,215 @@
+"""Frame simulator tests: statistics and agreement with the tableau."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FrameSimulator, StabilizerCircuit, TableauSimulator
+
+
+def _measurement_flip_rate(circ, shots=20000, seed=11):
+    sample = FrameSimulator(circ, seed=seed).sample(shots)
+    return sample.measurements.mean(axis=0)
+
+
+class TestNoiseChannels:
+    def test_x_error_rate(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("X_ERROR", (0,), (0.25,))
+        circ.append("M", (0,))
+        rate = _measurement_flip_rate(circ)[0]
+        assert abs(rate - 0.25) < 0.02
+
+    def test_z_error_invisible_in_z_basis(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("Z_ERROR", (0,), (0.5,))
+        circ.append("M", (0,))
+        assert _measurement_flip_rate(circ)[0] == 0.0
+
+    def test_z_error_visible_after_h(self):
+        circ = StabilizerCircuit()
+        circ.append("RX", (0,))
+        circ.append("Z_ERROR", (0,), (0.3,))
+        circ.append("MX", (0,))
+        rate = _measurement_flip_rate(circ)[0]
+        assert abs(rate - 0.3) < 0.02
+
+    def test_y_error_flips_both_bases(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("Y_ERROR", (0,), (0.2,))
+        circ.append("M", (0,))
+        rate = _measurement_flip_rate(circ)[0]
+        assert abs(rate - 0.2) < 0.02
+
+    def test_depolarize1_z_fraction_invisible(self):
+        # 1/3 of depolarising events are pure Z: invisible to M.
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("DEPOLARIZE1", (0,), (0.3,))
+        circ.append("M", (0,))
+        rate = _measurement_flip_rate(circ)[0]
+        assert abs(rate - 0.2) < 0.02  # 0.3 * 2/3
+
+    def test_depolarize2_marginal(self):
+        # Each qubit sees X or Y on 8 of the 15 components.
+        circ = StabilizerCircuit()
+        circ.append("R", (0, 1))
+        circ.append("DEPOLARIZE2", (0, 1), (0.3,))
+        circ.append("M", (0, 1))
+        rates = _measurement_flip_rate(circ)
+        expected = 0.3 * 8 / 15
+        assert abs(rates[0] - expected) < 0.02
+        assert abs(rates[1] - expected) < 0.02
+
+    def test_pauli_channel_1(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("PAULI_CHANNEL_1", (0,), (0.1, 0.05, 0.5))
+        circ.append("M", (0,))
+        rate = _measurement_flip_rate(circ)[0]
+        assert abs(rate - 0.15) < 0.02  # X + Y flip Z-measurements
+
+    def test_reset_clears_frame(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("X_ERROR", (0,), (1.0,))
+        circ.append("R", (0,))
+        circ.append("M", (0,))
+        assert _measurement_flip_rate(circ, shots=500)[0] == 0.0
+
+    def test_mr_reports_then_clears(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("X_ERROR", (0,), (1.0,))
+        circ.append("MR", (0,))
+        circ.append("M", (0,))
+        rates = _measurement_flip_rate(circ, shots=500)
+        assert rates[0] == 1.0
+        assert rates[1] == 0.0
+
+
+class TestFramePropagation:
+    def test_cx_propagates_x_to_target(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0, 1))
+        circ.append("X_ERROR", (0,), (1.0,))
+        circ.append("CX", (0, 1))
+        circ.append("M", (0, 1))
+        rates = _measurement_flip_rate(circ, shots=200)
+        assert rates[0] == 1.0 and rates[1] == 1.0
+
+    def test_cx_propagates_z_to_control(self):
+        circ = StabilizerCircuit()
+        circ.append("RX", (0, 1))
+        circ.append("Z_ERROR", (1,), (1.0,))
+        circ.append("CX", (0, 1))
+        circ.append("MX", (0, 1))
+        rates = _measurement_flip_rate(circ, shots=200)
+        assert rates[0] == 1.0 and rates[1] == 1.0
+
+    def test_h_conjugated_z_error_flips(self):
+        # |0> -H-> |+> -Z-> |-> -H-> |1>: the Z frame becomes an X frame.
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("H", (0,))
+        circ.append("Z_ERROR", (0,), (1.0,))
+        circ.append("H", (0,))
+        circ.append("M", (0,))
+        assert _measurement_flip_rate(circ, shots=200)[0] == 1.0
+
+    def test_swap_moves_frame(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0, 1))
+        circ.append("X_ERROR", (0,), (1.0,))
+        circ.append("SWAP", (0, 1))
+        circ.append("M", (0, 1))
+        rates = _measurement_flip_rate(circ, shots=200)
+        assert rates[0] == 0.0 and rates[1] == 1.0
+
+    def test_detector_xor_of_records(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("X_ERROR", (0,), (1.0,))
+        circ.append("M", (0,))
+        circ.append("M", (0,))
+        circ.append("DETECTOR", (-1, -2))
+        sample = FrameSimulator(circ, seed=1).sample(100)
+        # Both measurements flip, so the detector parity cancels.
+        assert not sample.detectors.any()
+
+    def test_observable_accumulates(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0,))
+        circ.append("X_ERROR", (0,), (1.0,))
+        circ.append("M", (0,))
+        circ.append("OBSERVABLE_INCLUDE", (-1,), (0,))
+        sample = FrameSimulator(circ, seed=1).sample(50)
+        assert sample.observables.all()
+
+    def test_shots_must_be_positive(self):
+        circ = StabilizerCircuit()
+        circ.append("M", (0,))
+        with pytest.raises(ValueError):
+            FrameSimulator(circ).sample(0)
+
+
+class TestAgreementWithTableau:
+    """Deterministic circuits: frame flips must match exact simulation."""
+
+    @given(st.integers(0, 2 ** 16 - 1), st.sampled_from("XYZ"), st.integers(0, 2))
+    @settings(max_examples=80, deadline=None)
+    def test_conjugated_error_flips_match_tableau(self, spec, error_kind, error_q):
+        """U, forced error, U-dagger: every measurement is deterministic,
+        so the frame sampler's flips must equal the exact simulation's
+        outcome difference bit for bit."""
+        n = 3
+        gates = []
+        bits = spec
+        for _ in range(5):
+            kind = bits % 4
+            bits //= 4
+            q = bits % 3
+            bits //= 3
+            gates.append((kind, q))
+
+        def apply(circ, kind, q, inverse):
+            if kind == 0:
+                circ.append("H", (q,))
+            elif kind == 1:
+                for _ in range(3 if inverse else 1):
+                    circ.append("S", (q,))
+            elif kind == 2:
+                circ.append("CX", (q, (q + 1) % n))
+            else:
+                circ.append("CZ", (q, (q + 1) % n))
+
+        def build(error_name):
+            circ = StabilizerCircuit()
+            circ.append("R", tuple(range(n)))
+            for kind, q in gates:
+                apply(circ, kind, q, inverse=False)
+            if error_name:
+                circ.append(error_name, (error_q,), (1.0,))
+            for kind, q in reversed(gates):
+                apply(circ, kind, q, inverse=True)
+            circ.append("M", tuple(range(n)))
+            return circ
+
+        clean_rec = np.array(TableauSimulator(n, seed=0).run(build(None)))
+        assert not clean_rec.any()  # U then U-dagger returns to |000>
+        noisy = build(f"{error_kind}_ERROR")
+        # Exact run with the error as a real Pauli gate.
+        exact = StabilizerCircuit()
+        for inst in noisy.instructions:
+            if inst.name.endswith("_ERROR"):
+                exact.append(inst.name[0], inst.targets)
+            else:
+                exact.append(inst.name, inst.targets, inst.args)
+        err_rec = np.array(TableauSimulator(n, seed=0).run(exact))
+        frame = FrameSimulator(noisy, seed=0).sample(4)
+        for shot in frame.measurements:
+            assert np.array_equal(shot, err_rec)

@@ -1,0 +1,182 @@
+"""Cross-module integration tests: the full Figure-2 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.arch import STANDARD_WIRING, WISE_WIRING
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.core import compile_memory_experiment, program_to_circuit
+from repro.decoders import DetectorGraph, MwpmDecoder
+from repro.ler import estimate_logical_error_rate, fit_projection
+from repro.noise import DEFAULT_NOISE, NoiseParameters
+from repro.sim import FrameSimulator, TableauSimulator, circuit_to_dem
+from repro.toolflow import DesignSpaceExplorer
+
+
+class TestCompiledCircuitPhysics:
+    """The compiled circuit must behave like a real memory experiment."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        code = RotatedSurfaceCode(3)
+        program = compile_memory_experiment(
+            code, trap_capacity=2, topology="grid", rounds=3
+        )
+        export = program_to_circuit(
+            program, code, DEFAULT_NOISE.improved(5.0)
+        )
+        return code, program, export
+
+    def test_injected_data_x_error_flips_adjacent_detectors(self, compiled):
+        """A single X on a data qubit fires the neighbouring Z checks."""
+        code, _, export = compiled
+        clean = export.circuit.without_noise()
+        data_q = code.logical_z[len(code.logical_z) // 2]
+        z_neighbours = [
+            c.ancilla for c in code.checks_of_basis("Z") if data_q in c.data
+        ]
+        # Build a circuit with one deterministic X error mid-experiment.
+        from repro.sim import StabilizerCircuit
+
+        injected = StabilizerCircuit()
+        insert_at = len(clean.instructions) // 2
+        for i, inst in enumerate(clean.instructions):
+            if i == insert_at:
+                injected.append("X_ERROR", (data_q,), (1.0,))
+            injected.append(inst.name, inst.targets, inst.args)
+        sample = FrameSimulator(injected, seed=1).sample(4)
+        fired = np.flatnonzero(sample.detectors[0])
+        assert fired.size > 0
+        assert fired.size <= 2 * len(z_neighbours)
+
+    def test_mwpm_corrects_single_injected_error(self, compiled):
+        code, _, export = compiled
+        dem = circuit_to_dem(export.circuit)
+        graph = DetectorGraph.from_dem(dem)
+        decoder = MwpmDecoder(graph)
+        clean = export.circuit.without_noise()
+        from repro.sim import StabilizerCircuit
+
+        for position in (10, len(clean.instructions) // 2):
+            injected = StabilizerCircuit()
+            for i, inst in enumerate(clean.instructions):
+                if i == position:
+                    injected.append("X_ERROR", (code.logical_z[0],), (1.0,))
+                injected.append(inst.name, inst.targets, inst.args)
+            sample = FrameSimulator(injected, seed=2).sample(1)
+            correction = decoder.decode(sample.detectors[0])
+            actual = int(sample.observables[0, 0])
+            assert (correction & 1) == actual, position
+
+    def test_ler_estimate_reasonable(self, compiled):
+        _, program, export = compiled
+        result = estimate_logical_error_rate(
+            export.circuit, rounds=program.rounds, shots=1500, seed=3
+        )
+        assert result.per_round < 0.02
+
+
+class TestEndToEndTrends:
+    def test_improvement_monotonicity(self):
+        """LER strictly improves with the gate-improvement factor."""
+        explorer = DesignSpaceExplorer()
+        rates = []
+        for improvement in (1.0, 10.0):
+            record = explorer.evaluate(
+                3, capacity=2, topology="grid",
+                gate_improvement=improvement, shots=2500,
+            )
+            rates.append(record.ler_per_round)
+        assert rates[1] < rates[0]
+
+    def test_projection_pipeline_stable(self):
+        explorer = DesignSpaceExplorer()
+        _, proj = explorer.ler_projection(
+            [2, 3], shots=1500, capacity=2, topology="grid",
+            gate_improvement=5.0, rounds=2,
+        )
+        assert proj.ler_at(9) >= 0
+
+    def test_wise_cooling_keeps_code_working(self):
+        """WISE with cooled gates still suppresses errors."""
+        explorer = DesignSpaceExplorer()
+        record = explorer.evaluate(
+            3, capacity=2, topology="grid", wiring="wise",
+            gate_improvement=5.0, shots=1200,
+        )
+        assert record.ler_per_round < 0.05
+
+    def test_repetition_code_full_stack(self):
+        explorer = DesignSpaceExplorer(code_name="repetition")
+        record = explorer.evaluate(
+            4, capacity=2, topology="linear",
+            gate_improvement=5.0, shots=2000, rounds=3,
+        )
+        assert record.ler_per_round < 0.02
+
+
+class TestDemSamplingConsistency:
+    """The DEM's predictions must match sampled statistics on the full
+    compiled pipeline, not just hand-built circuits."""
+
+    def test_detector_marginals_match(self):
+        code = RepetitionCode(3)
+        program = compile_memory_experiment(
+            code, trap_capacity=2, topology="linear", rounds=2
+        )
+        export = program_to_circuit(program, code, DEFAULT_NOISE)
+        dem = circuit_to_dem(export.circuit)
+        predicted = np.zeros(export.circuit.num_detectors)
+        for err in dem.errors:
+            for det in err.detectors:
+                predicted[det] = (
+                    predicted[det] * (1 - err.probability)
+                    + err.probability * (1 - predicted[det])
+                )
+        sample = FrameSimulator(export.circuit, seed=11).sample(30000)
+        measured = sample.detectors.mean(axis=0)
+        assert np.all(np.abs(measured - predicted) < 0.012)
+
+    def test_compiled_circuit_has_no_silent_logical_errors(self):
+        code = RotatedSurfaceCode(3)
+        program = compile_memory_experiment(
+            code, trap_capacity=2, topology="grid", rounds=2
+        )
+        export = program_to_circuit(program, code, DEFAULT_NOISE)
+        dem = circuit_to_dem(export.circuit)
+        silent = [e for e in dem.errors if not e.detectors and e.observables]
+        assert silent == []
+
+
+class TestNoiseModelVariants:
+    def test_custom_noise_threading(self):
+        """A custom NoiseParameters flows through the explorer."""
+        quiet = NoiseParameters(
+            p_2q_base=1e-4, p_1q_base=1e-5, thermal_a0=1e-6,
+            p_measurement=1e-4, p_reset=1e-4,
+        )
+        loud = NoiseParameters(p_2q_base=2e-2)
+        r_quiet = DesignSpaceExplorer(noise=quiet).evaluate(
+            2, capacity=2, rounds=2, shots=1500
+        )
+        r_loud = DesignSpaceExplorer(noise=loud).evaluate(
+            2, capacity=2, rounds=2, shots=1500
+        )
+        assert r_quiet.ler_per_round < r_loud.ler_per_round
+
+    def test_compiled_x_basis_memory_works(self):
+        code = RotatedSurfaceCode(3)
+        program = compile_memory_experiment(
+            code, trap_capacity=2, topology="grid", rounds=2, basis="X"
+        )
+        export = program_to_circuit(
+            program, code, DEFAULT_NOISE.improved(5.0), basis="X"
+        )
+        clean = export.circuit.without_noise()
+        rec = np.array(TableauSimulator(clean.num_qubits, seed=4).run(clean))
+        for group in clean.detector_records():
+            assert rec[group].sum() % 2 == 0
+        result = estimate_logical_error_rate(
+            export.circuit, rounds=2, shots=1200, seed=5
+        )
+        assert result.per_round < 0.05

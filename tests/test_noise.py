@@ -1,0 +1,159 @@
+"""Noise model tests: channels e1-e5, heating ledger, fidelity scaling."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import (
+    DEFAULT_NOISE,
+    HeatingLedger,
+    HeatingRates,
+    NoiseParameters,
+    dephasing_error,
+    measurement_error,
+    reset_error,
+    single_qubit_error,
+    thermal_factor,
+    two_qubit_error,
+)
+
+
+class TestParameters:
+    def test_defaults_match_table1(self):
+        assert DEFAULT_NOISE.p_measurement == 1e-3
+        assert DEFAULT_NOISE.p_reset == 5e-3
+        assert DEFAULT_NOISE.t2_us == pytest.approx(2.2e6)
+
+    def test_heating_rates_match_table1_bounds(self):
+        """Table 1 rows bound the *pair* of primitives they list:
+        nbar < 6 for split+merge, nbar < 3 for junction entry+exit."""
+        rates = HeatingRates()
+        assert rates.shuttle == pytest.approx(0.1)
+        assert rates.split + rates.merge == pytest.approx(6)
+        assert rates.junction_entry + rates.junction_exit == pytest.approx(3)
+
+    def test_improvement_must_be_at_least_one(self):
+        with pytest.raises(ValueError):
+            NoiseParameters(gate_improvement=0.5)
+
+    def test_improved_returns_new_instance(self):
+        improved = DEFAULT_NOISE.improved(5)
+        assert improved.gate_improvement == 5
+        assert DEFAULT_NOISE.gate_improvement == 1
+
+    def test_with_cooling(self):
+        cooled = DEFAULT_NOISE.with_cooling()
+        assert cooled.cooled_gates and not DEFAULT_NOISE.cooled_gates
+
+
+class TestDephasing:
+    def test_formula(self):
+        t = 1000.0
+        expected = (1 - math.exp(-t / 2.2e6)) / 2
+        assert dephasing_error(DEFAULT_NOISE, t) == pytest.approx(expected)
+
+    def test_zero_and_negative_idle(self):
+        assert dephasing_error(DEFAULT_NOISE, 0) == 0
+        assert dephasing_error(DEFAULT_NOISE, -5) == 0
+
+    def test_saturates_at_half(self):
+        assert dephasing_error(DEFAULT_NOISE, 1e12) == pytest.approx(0.5)
+
+    def test_improvement_scales(self):
+        p1 = dephasing_error(DEFAULT_NOISE, 1000)
+        p10 = dephasing_error(DEFAULT_NOISE.improved(10), 1000)
+        assert p10 == pytest.approx(p1 / 10)
+
+    @given(st.floats(1.0, 1e6), st.floats(1.0, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_time(self, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert dephasing_error(DEFAULT_NOISE, lo) <= dephasing_error(
+            DEFAULT_NOISE, hi
+        )
+
+
+class TestGateFidelity:
+    def test_calibration_anchor_1x(self):
+        """~5e-3 effective two-qubit error at 1x with typical heating."""
+        p = two_qubit_error(DEFAULT_NOISE, 40.0, 2, nbar=30.0)
+        assert 3e-3 < p < 8e-3
+
+    def test_calibration_anchor_5x(self):
+        """The paper: 5x improvement ~ 1e-3 per-gate error."""
+        p = two_qubit_error(DEFAULT_NOISE.improved(5), 40.0, 2, nbar=30.0)
+        assert 5e-4 < p < 2e-3
+
+    def test_heating_raises_error(self):
+        cold = two_qubit_error(DEFAULT_NOISE, 40.0, 2, nbar=0.0)
+        hot = two_qubit_error(DEFAULT_NOISE, 40.0, 2, nbar=100.0)
+        assert hot > cold
+
+    def test_duration_raises_error(self):
+        fast = two_qubit_error(DEFAULT_NOISE, 40.0, 2, nbar=0.0)
+        slow = two_qubit_error(DEFAULT_NOISE, 4000.0, 2, nbar=0.0)
+        assert slow > fast
+
+    def test_single_qubit_less_noisy(self):
+        p1 = single_qubit_error(DEFAULT_NOISE, 5.0, 2, nbar=10.0)
+        p2 = two_qubit_error(DEFAULT_NOISE, 40.0, 2, nbar=10.0)
+        assert p1 < p2
+
+    def test_thermal_factor_scaling(self):
+        """A(N) ~ ln(N)/N decreases with chain length (Sec. 5.1)."""
+        assert thermal_factor(1.0, 2) > thermal_factor(1.0, 10)
+        assert thermal_factor(1.0, 2) == pytest.approx(math.log(2) / 2)
+
+    def test_thermal_factor_clamps_small_chains(self):
+        assert thermal_factor(1.0, 1) == thermal_factor(1.0, 2)
+
+    def test_cooled_gates_fixed_rates(self):
+        cooled = DEFAULT_NOISE.with_cooling()
+        assert two_qubit_error(cooled, 890.0, 2, nbar=500.0) == pytest.approx(2e-3)
+        assert single_qubit_error(cooled, 5.0, 2, nbar=500.0) == pytest.approx(3e-3)
+
+    def test_spam_errors_scale_with_improvement(self):
+        assert measurement_error(DEFAULT_NOISE.improved(10)) == pytest.approx(1e-4)
+        assert reset_error(DEFAULT_NOISE.improved(10)) == pytest.approx(5e-4)
+
+    def test_error_clamped_to_probability(self):
+        crazy = NoiseParameters(thermal_a0=10.0)
+        p = two_qubit_error(crazy, 40.0, 2, nbar=1e6)
+        assert p <= 0.75
+
+
+class TestHeatingLedger:
+    def test_movement_accumulates(self):
+        ledger = HeatingLedger()
+        ledger.record_movement(0, "SPLIT")
+        ledger.record_movement(0, "SHUTTLE")
+        ledger.record_movement(0, "MERGE")
+        assert ledger.of(0) == pytest.approx(6.1)
+
+    def test_reset_recools(self):
+        ledger = HeatingLedger()
+        ledger.record_movement(0, "JUNCTION_ENTRY")
+        ledger.record_reset(0)
+        assert ledger.of(0) == 0.0
+
+    def test_pair_nbar_is_mean(self):
+        ledger = HeatingLedger()
+        ledger.record_movement(0, "SPLIT")  # 3 quanta
+        assert ledger.pair_nbar(0, 1) == pytest.approx(1.5)
+
+    def test_unknown_ion_is_cold(self):
+        assert HeatingLedger().of(99) == 0.0
+
+    def test_unknown_movement_rejected(self):
+        with pytest.raises(ValueError):
+            HeatingLedger().record_movement(0, "TELEPORT")
+
+    def test_grid_hop_quanta(self):
+        """One grid hop deposits split+shuttle+entry+exit+shuttle+merge."""
+        ledger = HeatingLedger()
+        for kind in ("SPLIT", "SHUTTLE", "JUNCTION_ENTRY",
+                     "JUNCTION_EXIT", "SHUTTLE", "MERGE"):
+            ledger.record_movement(0, kind)
+        assert ledger.of(0) == pytest.approx(3 + 0.1 + 1.5 + 1.5 + 0.1 + 3)

@@ -1,0 +1,135 @@
+"""Unit and property tests for the Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PauliString
+
+
+def pauli_strings(max_qubits=6):
+    chars = st.sampled_from("IXYZ")
+    return st.builds(
+        lambda body, phase: PauliString.from_str(phase + body),
+        st.text(chars, min_size=1, max_size=max_qubits),
+        st.sampled_from(["+", "-", "i", "-i"]),
+    )
+
+
+class TestConstruction:
+    def test_from_str_identity(self):
+        p = PauliString.from_str("III")
+        assert p.is_identity()
+        assert p.weight == 0
+        assert p.num_qubits == 3
+
+    def test_from_str_parses_components(self):
+        p = PauliString.from_str("XYZ")
+        assert p.component(0) == "X"
+        assert p.component(1) == "Y"
+        assert p.component(2) == "Z"
+
+    def test_from_str_phases(self):
+        assert PauliString.from_str("+X").phase == 0
+        assert PauliString.from_str("iX").phase == 1
+        assert PauliString.from_str("-X").phase == 2
+        assert PauliString.from_str("-iX").phase == 3
+
+    def test_from_str_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            PauliString.from_str("XQZ")
+
+    def test_single(self):
+        p = PauliString.single(5, 2, "Y")
+        assert p.weight == 1
+        assert p.component(2) == "Y"
+        assert p.support() == [2]
+
+    def test_mismatched_xz_length_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString(x=np.zeros(3, bool), z=np.zeros(4, bool))
+
+    def test_roundtrip_str(self):
+        for text in ("+XIZ", "-YY", "+i" + "XZ", "-i" + "ZZZ"):
+            assert str(PauliString.from_str(text)) == text.replace("i", "i")
+
+
+class TestAlgebra:
+    def test_xx_commute(self):
+        a = PauliString.from_str("XI")
+        b = PauliString.from_str("XX")
+        assert a.commutes_with(b)
+
+    def test_xz_anticommute(self):
+        a = PauliString.from_str("X")
+        b = PauliString.from_str("Z")
+        assert not a.commutes_with(b)
+
+    def test_product_xz_is_minus_iy(self):
+        x = PauliString.from_str("X")
+        z = PauliString.from_str("Z")
+        prod = x * z
+        assert prod.component(0) == "Y"
+        # X*Z = -iY
+        assert prod == PauliString.from_str("-iY")
+
+    def test_product_zx_is_plus_iy(self):
+        z = PauliString.from_str("Z")
+        x = PauliString.from_str("X")
+        assert z * x == PauliString.from_str("iY")
+
+    def test_y_squared_is_identity(self):
+        y = PauliString.from_str("Y")
+        assert (y * y).is_identity()
+        assert (y * y).phase == 0
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            PauliString.from_str("X") * PauliString.from_str("XX")
+        with pytest.raises(ValueError):
+            PauliString.from_str("X").commutes_with(PauliString.from_str("XX"))
+
+    @given(pauli_strings())
+    @settings(max_examples=100, deadline=None)
+    def test_self_product_is_identity_up_to_phase(self, p):
+        prod = p * p
+        assert not prod.x.any() and not prod.z.any()
+        assert prod.phase in (0, 2)
+
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_product_associative(self, n, data):
+        chars = st.text(st.sampled_from("IXYZ"), min_size=n, max_size=n)
+        a = PauliString.from_str(data.draw(chars))
+        b = PauliString.from_str(data.draw(chars))
+        c = PauliString.from_str(data.draw(chars))
+        assert (a * b) * c == a * (b * c)
+
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_commutation_symmetric(self, n, data):
+        chars = st.text(st.sampled_from("IXYZ"), min_size=n, max_size=n)
+        a = PauliString.from_str(data.draw(chars))
+        b = PauliString.from_str(data.draw(chars))
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_product_commutation_phase(self, n, data):
+        """ab = +/- ba with sign matching the symplectic product."""
+        chars = st.text(st.sampled_from("IXYZ"), min_size=n, max_size=n)
+        a = PauliString.from_str(data.draw(chars))
+        b = PauliString.from_str(data.draw(chars))
+        ab = a * b
+        ba = b * a
+        expected_phase_diff = 0 if a.commutes_with(b) else 2
+        assert (ab.phase - ba.phase) % 4 == expected_phase_diff
+        assert np.array_equal(ab.x, ba.x) and np.array_equal(ab.z, ba.z)
+
+    def test_hash_consistency(self):
+        a = PauliString.from_str("XZ")
+        b = PauliString.from_str("XZ")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != PauliString.from_str("-XZ")

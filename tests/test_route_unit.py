@@ -1,0 +1,153 @@
+"""Focused unit tests for router internals (pathfinding, swaps, hops)."""
+
+import pytest
+
+from repro.arch import DEFAULT_TIMES, grid_device, linear_device
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.core import build_gate_dag, place
+from repro.core.route import Router, RoutingError
+
+
+def _router(code, cap, topo, rounds=1):
+    gates = build_gate_dag(code, rounds)
+    placement = place(code, cap, topo)
+    return Router(code, placement, gates, DEFAULT_TIMES)
+
+
+class TestPathfinding:
+    def test_dijkstra_prefers_short_paths(self):
+        router = _router(RepetitionCode(4), 2, "linear")
+        traps = [t.id for t in router.device.traps]
+        alloc = {c.id: 0 for c in router.device.components}
+        path = router._find_path(traps[0], traps[1], alloc)
+        assert path is not None
+        assert path[0] == traps[0] and path[-1] == traps[1]
+        assert len(path) == 3  # trap, segment, trap
+
+    def test_dijkstra_blocked_by_full_component(self):
+        router = _router(RepetitionCode(3), 2, "linear")
+        traps = [t.id for t in router.device.traps]
+        alloc = {c.id: 0 for c in router.device.components}
+        # Saturate the only segment between trap 0 and trap 1.
+        seg = router.device.neighbors(traps[0])[0]
+        alloc[seg] = 1
+        assert router._find_path(traps[0], traps[1], alloc) is None
+
+    def test_same_trap_returns_none(self):
+        router = _router(RepetitionCode(3), 2, "linear")
+        trap = router.device.traps[0].id
+        alloc = {c.id: 0 for c in router.device.components}
+        assert router._find_path(trap, trap, alloc) is None
+
+    def test_static_distance_caches_and_matches(self):
+        router = _router(RotatedSurfaceCode(2), 2, "grid")
+        traps = [t.id for t in router.device.traps]
+        d1 = router._static_distance(traps[0], traps[1])
+        d2 = router._static_distance(traps[0], traps[1])
+        assert d1 == d2
+        # One diagonal grid hop: split+shuttle+entry+exit+shuttle+merge.
+        expected = 80 + 5 + 100 + 100 + 5 + 80
+        neighbours = router.device.neighbor_traps(traps[0])
+        dist = router._static_distance(traps[0], neighbours[0])
+        assert dist == pytest.approx(expected)
+
+    def test_hop_cost_by_topology(self):
+        grid_router = _router(RotatedSurfaceCode(2), 2, "grid")
+        line_router = _router(RepetitionCode(3), 2, "linear")
+        assert grid_router._hop_cost() == pytest.approx(370)
+        assert line_router._hop_cost() == pytest.approx(165)
+
+
+class TestSwapEmission:
+    def test_no_swaps_when_ion_at_end(self):
+        router = _router(RepetitionCode(4), 4, "linear")
+        trap = next(
+            t for t, chain in router.chains.items() if len(chain) >= 2
+        )
+        chain = router.chains[trap]
+        ion = chain[0]
+        before = len(router.ops)
+        router._emit_swaps_to_end(trap, ion, 0)
+        assert len(router.ops) == before  # already at that end
+
+    def test_swaps_move_ion_to_far_end(self):
+        router = _router(RepetitionCode(4), 4, "linear")
+        trap = next(
+            t for t, chain in router.chains.items() if len(chain) >= 3
+        )
+        chain = router.chains[trap]
+        ion = chain[0]
+        router._emit_swaps_to_end(trap, ion, 1)
+        assert router.chains[trap][-1] == ion
+        swaps = [op for op in router.ops if op.kind == "SWAP"]
+        assert len(swaps) == len(chain) - 1
+        for op in swaps:
+            assert op.duration == DEFAULT_TIMES.swap
+
+
+class TestHopEmission:
+    def test_hop_updates_location_and_chains(self):
+        router = _router(RepetitionCode(3), 2, "linear")
+        traps = [t.id for t in router.device.traps]
+        src = traps[0]
+        dst = traps[1]
+        ion = router.chains[src][0]
+        alloc = router._occupancy()
+        path = router._find_path(src, dst, alloc)
+        router._emit_hop(ion, path)
+        assert router.location[ion] == dst
+        assert ion in router.chains[dst]
+        assert ion not in router.chains[src]
+
+    def test_hop_emits_expected_primitive_sequence(self):
+        router = _router(RepetitionCode(3), 2, "linear")
+        traps = [t.id for t in router.device.traps]
+        ion = router.chains[traps[0]][0]
+        alloc = router._occupancy()
+        path = router._find_path(traps[0], traps[1], alloc)
+        router._emit_hop(ion, path)
+        kinds = [op.kind for op in router.ops]
+        assert kinds == ["SPLIT", "SHUTTLE", "MERGE"]
+
+    def test_two_hop_passes_through_intermediate_trap(self):
+        router = _router(RepetitionCode(3), 2, "linear")
+        traps = [t.id for t in router.device.traps]
+        ion = router.chains[traps[0]][0]
+        # Empty the intermediate trap so no swaps are needed.
+        middle_chain = router.chains[traps[1]]
+        displaced = list(middle_chain)
+        for q in displaced:
+            middle_chain.remove(q)
+            router.chains[traps[2]].append(q)
+            router.location[q] = traps[2]
+        alloc = router._occupancy()
+        alloc[traps[2]] = 0  # admit the path in spite of our shuffling
+        path = router._dijkstra(traps[0], alloc, lambda n: n == traps[2])
+        router._emit_hop(ion, path)
+        kinds = [op.kind for op in router.ops]
+        assert kinds == [
+            "SPLIT", "SHUTTLE", "MERGE",  # into the intermediate trap
+            "SPLIT", "SHUTTLE", "MERGE",  # out the other side
+        ]
+
+
+class TestOccupancy:
+    def test_occupancy_counts_chains(self):
+        router = _router(RotatedSurfaceCode(2), 2, "grid")
+        alloc = router._occupancy()
+        for trap_id, chain in router.chains.items():
+            assert alloc[trap_id] == len(chain)
+        for seg in router.device.segments:
+            assert alloc[seg.id] == 0
+
+    def test_op_concurrency_windows(self):
+        router = _router(RotatedSurfaceCode(2), 2, "switch")
+        hub = router.device.junctions[0]
+        assert router._op_concurrency(hub.id) == hub.capacity
+        trap = router.device.traps[0]
+        assert router._op_concurrency(trap.id) == 1
+
+
+class TestDeadlockReporting:
+    def test_error_type(self):
+        assert issubclass(RoutingError, RuntimeError)

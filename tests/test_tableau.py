@@ -1,0 +1,166 @@
+"""Exact tableau simulator tests: known identities and state facts."""
+
+import numpy as np
+import pytest
+
+from repro.sim import PauliString, StabilizerCircuit, TableauSimulator
+
+
+class TestSingleQubit:
+    def test_fresh_qubit_measures_zero(self):
+        sim = TableauSimulator(1)
+        assert sim.measure(0) is False
+
+    def test_x_flips_measurement(self):
+        sim = TableauSimulator(1)
+        sim.x_gate(0)
+        assert sim.measure(0) is True
+
+    def test_h_gives_random_then_collapsed(self):
+        sim = TableauSimulator(1, seed=7)
+        sim.h(0)
+        assert not sim.is_deterministic(0)
+        first = sim.measure(0)
+        assert sim.is_deterministic(0)
+        assert sim.measure(0) == first
+
+    def test_hzh_equals_x(self):
+        sim = TableauSimulator(1)
+        sim.h(0)
+        sim.z_gate(0)
+        sim.h(0)
+        assert sim.measure(0) is True
+
+    def test_s_squared_is_z(self):
+        sim = TableauSimulator(1)
+        sim.h(0)  # |+>
+        sim.s(0)
+        sim.s(0)  # Z|+> = |->
+        sim.h(0)  # |1>
+        assert sim.measure(0) is True
+
+    def test_s_dag_inverts_s(self):
+        sim = TableauSimulator(1)
+        sim.h(0)
+        sim.s(0)
+        sim.s_dag(0)
+        sim.h(0)
+        assert sim.measure(0) is False
+
+    def test_sqrt_x_squared_is_x(self):
+        sim = TableauSimulator(1)
+        sim.sqrt_x(0)
+        sim.sqrt_x(0)
+        assert sim.measure(0) is True
+
+    def test_y_gate_flips_z_basis(self):
+        sim = TableauSimulator(1)
+        sim.y_gate(0)
+        assert sim.measure(0) is True
+
+
+class TestTwoQubit:
+    def test_bell_pair_correlated(self):
+        for seed in range(8):
+            sim = TableauSimulator(2, seed=seed)
+            sim.h(0)
+            sim.cx(0, 1)
+            assert sim.measure(0) == sim.measure(1)
+
+    def test_cz_phase_kickback(self):
+        # CZ between |+> and |1> flips the plus state.
+        sim = TableauSimulator(2)
+        sim.h(0)
+        sim.x_gate(1)
+        sim.cz(0, 1)
+        sim.h(0)
+        assert sim.measure(0) is True
+
+    def test_swap(self):
+        sim = TableauSimulator(2)
+        sim.x_gate(0)
+        sim.swap(0, 1)
+        assert sim.measure(0) is False
+        assert sim.measure(1) is True
+
+    def test_ghz_parity(self):
+        for seed in range(5):
+            sim = TableauSimulator(3, seed=seed)
+            sim.h(0)
+            sim.cx(0, 1)
+            sim.cx(1, 2)
+            bits = [sim.measure(q) for q in range(3)]
+            assert len(set(bits)) == 1  # all equal
+
+
+class TestStateInspection:
+    def test_initial_stabilizers_are_z(self):
+        sim = TableauSimulator(2)
+        stabs = sim.stabilizers()
+        assert stabs[0] == PauliString.from_str("ZI")
+        assert stabs[1] == PauliString.from_str("IZ")
+
+    def test_bell_stabilizers(self):
+        sim = TableauSimulator(2)
+        sim.h(0)
+        sim.cx(0, 1)
+        expectations = {
+            "XX": 1,
+            "ZZ": 1,
+            "YY": -1,
+            "ZI": 0,
+            "XI": 0,
+        }
+        for text, value in expectations.items():
+            assert sim.expectation_of(PauliString.from_str(text)) == value, text
+
+    def test_expectation_of_minus_operator(self):
+        sim = TableauSimulator(1)
+        sim.x_gate(0)  # |1>: <Z> = -1
+        assert sim.expectation_of(PauliString.from_str("Z")) == -1
+        assert sim.expectation_of(PauliString.from_str("-Z")) == 1
+
+    def test_reset_restores_zero(self):
+        sim = TableauSimulator(1, seed=3)
+        sim.h(0)
+        sim.reset(0)
+        assert sim.measure(0) is False
+        assert sim.record == [False]  # reset's internal measure not recorded
+
+    def test_reset_x_gives_plus(self):
+        sim = TableauSimulator(1)
+        sim.reset_x(0)
+        assert sim.expectation_of(PauliString.from_str("X")) == 1
+
+
+class TestRunCircuit:
+    def test_run_ignores_noise_ops(self):
+        circ = StabilizerCircuit()
+        circ.append("X_ERROR", (0,), (1.0,))
+        circ.append("M", (0,))
+        sim = TableauSimulator(1)
+        record = sim.run(circ)
+        assert record == [False]
+
+    def test_mr_resets(self):
+        circ = StabilizerCircuit()
+        circ.append("X", (0,))
+        circ.append("MR", (0,))
+        circ.append("M", (0,))
+        record = TableauSimulator(1).run(circ)
+        assert record == [True, False]
+
+    def test_mx_on_plus(self):
+        circ = StabilizerCircuit()
+        circ.append("RX", (0,))
+        circ.append("MX", (0,))
+        record = TableauSimulator(1).run(circ)
+        assert record == [False]
+
+    def test_measurement_count_matches(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0, 1))
+        circ.append("M", (0, 1))
+        circ.append("M", (0,))
+        record = TableauSimulator(2).run(circ)
+        assert len(record) == 3

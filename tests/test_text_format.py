@@ -1,0 +1,91 @@
+"""Circuit text serialisation tests, including property round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import RepetitionCode, RotatedSurfaceCode, UniformNoise, ideal_memory_circuit
+from repro.sim import (
+    StabilizerCircuit,
+    circuit_from_text,
+    circuit_to_text,
+    load_circuit,
+    save_circuit,
+)
+
+
+class TestRoundTrip:
+    def test_simple_circuit(self):
+        circ = StabilizerCircuit()
+        circ.append("R", (0, 1))
+        circ.append("H", (0,))
+        circ.append("CX", (0, 1))
+        circ.append("DEPOLARIZE2", (0, 1), (0.001,))
+        circ.append("M", (0, 1))
+        circ.append("DETECTOR", (-1, -2))
+        circ.append("OBSERVABLE_INCLUDE", (-1,), (0,))
+        parsed = circuit_from_text(circuit_to_text(circ))
+        assert parsed == circ
+
+    def test_memory_experiment_roundtrip(self):
+        circ = ideal_memory_circuit(
+            RotatedSurfaceCode(3), rounds=2, noise=UniformNoise(0.01)
+        )
+        parsed = circuit_from_text(circuit_to_text(circ))
+        assert parsed == circ
+        assert parsed.num_detectors == circ.num_detectors
+        assert parsed.num_measurements == circ.num_measurements
+
+    def test_file_roundtrip(self, tmp_path):
+        circ = ideal_memory_circuit(RepetitionCode(3), rounds=2)
+        path = tmp_path / "circuit.stim"
+        save_circuit(circ, str(path))
+        assert load_circuit(str(path)) == circ
+
+    @given(st.lists(st.sampled_from(["H", "S", "X", "Z"]), min_size=1, max_size=8),
+           st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_random_gate_sequences_roundtrip(self, names, qubit):
+        circ = StabilizerCircuit()
+        for name in names:
+            circ.append(name, (qubit,))
+        circ.append("M", (qubit,))
+        assert circuit_from_text(circuit_to_text(circ)) == circ
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a comment
+        R 0
+
+        M 0  # trailing comment is NOT stripped by stim, but we allow it
+        """
+        circ = circuit_from_text(text)
+        assert len(circ) == 2
+
+    def test_pauli_channel_args(self):
+        circ = circuit_from_text("PAULI_CHANNEL_1(0.1, 0.2, 0.3) 4")
+        inst = circ.instructions[0]
+        assert inst.args == (0.1, 0.2, 0.3)
+        assert inst.targets == (4,)
+
+    def test_rec_targets(self):
+        circ = circuit_from_text("M 0 1\nDETECTOR rec[-1] rec[-2]")
+        assert circ.detector_records() == [[1, 0]]
+
+    def test_bad_instruction_reports_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            circuit_from_text("M 0\nTELEPORT 1")
+
+    def test_bad_targets_report_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            circuit_from_text("H zero")
+
+    def test_detector_requires_rec_terms(self):
+        with pytest.raises(ValueError, match="rec"):
+            circuit_from_text("M 0\nDETECTOR 0")
+
+    def test_observable_index_parsed(self):
+        circ = circuit_from_text("M 0\nOBSERVABLE_INCLUDE(2) rec[-1]")
+        assert circ.num_observables == 3

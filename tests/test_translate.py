@@ -1,0 +1,153 @@
+"""Translation pass tests: gate DAG structure and commutation edges."""
+
+import pytest
+
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.core import build_gate_dag
+
+
+def _gates_of_kind(gates, kind):
+    return [g for g in gates if g.kind == kind]
+
+
+def _find_cx(gates, control, target):
+    return [
+        g for g in gates if g.kind == "CX" and g.qubits == (control, target)
+    ]
+
+
+class TestShape:
+    def test_gate_counts_single_round(self):
+        code = RotatedSurfaceCode(3)
+        gates = build_gate_dag(code, 1)
+        n_anc = len(code.ancilla_qubits)
+        n_data = len(code.data_qubits)
+        n_x = len(code.checks_of_basis("X"))
+        cx = sum(c.weight for c in code.checks)
+        assert len(_gates_of_kind(gates, "R")) == n_data + n_anc
+        assert len(_gates_of_kind(gates, "M")) == n_anc + n_data
+        assert len(_gates_of_kind(gates, "H")) == 2 * n_x
+        assert len(_gates_of_kind(gates, "CX")) == cx
+
+    def test_rounds_scale_gate_count(self):
+        code = RepetitionCode(3)
+        one = len(build_gate_dag(code, 1))
+        three = len(build_gate_dag(code, 3))
+        per_round = (three - one) / 2
+        n_anc = len(code.ancilla_qubits)
+        assert per_round == n_anc * (1 + 2 + 1)  # R + 2 CX + M
+
+    def test_x_basis_adds_data_hadamards(self):
+        code = RotatedSurfaceCode(2)
+        z = build_gate_dag(code, 1, "Z")
+        x = build_gate_dag(code, 1, "X")
+        n_data = len(code.data_qubits)
+        assert len(_gates_of_kind(x, "H")) == len(_gates_of_kind(z, "H")) + 2 * n_data
+
+    def test_invalid_args(self):
+        code = RepetitionCode(2)
+        with pytest.raises(ValueError):
+            build_gate_dag(code, 0)
+        with pytest.raises(ValueError):
+            build_gate_dag(code, 1, "Y")
+
+    def test_cx_direction_by_basis(self):
+        code = RotatedSurfaceCode(3)
+        gates = build_gate_dag(code, 1)
+        data_ids = {q.index for q in code.data_qubits}
+        for check in code.checks:
+            for gate in gates:
+                if gate.kind != "CX" or check.ancilla not in gate.qubits:
+                    continue
+                if check.basis == "Z":
+                    assert gate.qubits[1] == check.ancilla  # data controls
+                else:
+                    assert gate.qubits[0] == check.ancilla  # ancilla controls
+
+
+class TestDependencies:
+    def test_dag_is_acyclic_by_construction(self):
+        gates = build_gate_dag(RotatedSurfaceCode(3), 2)
+        for gate in gates:
+            assert all(dep < gate.id for dep in gate.deps)
+
+    def test_reset_blocks_ancilla_gates(self):
+        code = RepetitionCode(3)
+        gates = build_gate_dag(code, 1)
+        for check in code.checks:
+            reset = next(
+                g for g in gates if g.kind == "R" and g.qubits == (check.ancilla,)
+            )
+            for cx in _find_cx(gates, check.data[0], check.ancilla):
+                # The reset must be an ancestor of the CX.
+                assert _is_ancestor(gates, reset.id, cx.id)
+
+    def test_measurement_follows_all_check_cx(self):
+        code = RepetitionCode(3)
+        gates = build_gate_dag(code, 1)
+        check = code.checks[0]
+        meas = next(
+            g
+            for g in gates
+            if g.kind == "M" and g.qubits == (check.ancilla,) and g.round == 0
+        )
+        for d in check.data:
+            cx = _find_cx(gates, d, check.ancilla)[0]
+            assert _is_ancestor(gates, cx.id, meas.id)
+
+    def test_same_basis_cx_on_shared_data_commute(self):
+        """Two Z-check CXs sharing a data qubit need no edge."""
+        code = RepetitionCode(3)  # middle data shared by both checks
+        gates = build_gate_dag(code, 1)
+        shared = code.checks[0].data[1]
+        assert shared == code.checks[1].data[0]
+        cx_a = _find_cx(gates, shared, code.checks[0].ancilla)[0]
+        cx_b = _find_cx(gates, shared, code.checks[1].ancilla)[0]
+        later = max(cx_a, cx_b, key=lambda g: g.id)
+        earlier = min(cx_a, cx_b, key=lambda g: g.id)
+        assert earlier.id not in later.deps
+
+    def test_cross_basis_cx_on_shared_data_ordered(self):
+        """X-check and Z-check CXs on the same data anticommute."""
+        code = RotatedSurfaceCode(3)
+        gates = build_gate_dag(code, 1)
+        # Find a data qubit shared by an X check and a Z check.
+        for xc in code.checks_of_basis("X"):
+            for zc in code.checks_of_basis("Z"):
+                shared = set(xc.data) & set(zc.data)
+                if not shared:
+                    continue
+                d = shared.pop()
+                x_cx = _find_cx(gates, xc.ancilla, d)[0]
+                z_cx = _find_cx(gates, d, zc.ancilla)[0]
+                later = max(x_cx, z_cx, key=lambda g: g.id)
+                earlier = min(x_cx, z_cx, key=lambda g: g.id)
+                assert _is_ancestor(gates, earlier.id, later.id)
+                return
+        pytest.fail("no overlapping X/Z check pair found")
+
+    def test_round_boundary_orders_ancilla_reuse(self):
+        code = RepetitionCode(2)
+        gates = build_gate_dag(code, 2)
+        a = code.checks[0].ancilla
+        m0 = next(
+            g for g in gates if g.kind == "M" and g.qubits == (a,) and g.round == 0
+        )
+        r1 = next(
+            g for g in gates if g.kind == "R" and g.qubits == (a,) and g.round == 1
+        )
+        assert _is_ancestor(gates, m0.id, r1.id)
+
+
+def _is_ancestor(gates, ancestor_id, node_id):
+    seen = set()
+    stack = [node_id]
+    while stack:
+        cur = stack.pop()
+        if cur == ancestor_id:
+            return True
+        if cur in seen:
+            continue
+        seen.add(cur)
+        stack.extend(gates[cur].deps)
+    return False

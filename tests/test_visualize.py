@@ -1,0 +1,98 @@
+"""Schedule visualisation tests."""
+
+import pytest
+
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.core import (
+    busiest_components,
+    compile_memory_experiment,
+    format_component_timeline,
+    format_ion_timeline,
+    schedule_gantt,
+    utilisation_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_memory_experiment(
+        RotatedSurfaceCode(2), trap_capacity=2, topology="grid", rounds=2
+    )
+
+
+class TestTimelines:
+    def test_ion_timeline_contains_gates(self, program):
+        code = RotatedSurfaceCode(2)
+        ancilla = code.ancilla_qubits[0].index
+        text = format_ion_timeline(program, ancilla)
+        assert f"ion {ancilla}" in text
+        assert "M" in text and "R" in text
+
+    def test_ion_timeline_is_chronological(self, program):
+        text = format_ion_timeline(program, 0, limit=1000)
+        times = [
+            float(line.split("t=")[1].split("us")[0])
+            for line in text.splitlines()
+            if "t=" in line
+        ]
+        assert times == sorted(times)
+
+    def test_timeline_limit_truncates(self, program):
+        text = format_ion_timeline(program, 4, limit=2)
+        assert "more" in text
+
+    def test_component_timeline(self, program):
+        trap = program.qubit_to_trap[0]
+        text = format_component_timeline(program, trap)
+        assert f"component {trap}" in text
+
+
+class TestUtilisation:
+    def test_fractions_sum_to_one(self, program):
+        summary = utilisation_summary(program)
+        total = (
+            summary["gate_fraction"]
+            + summary["movement_fraction"]
+            + summary["swap_fraction"]
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_parallelism_above_one(self, program):
+        """Capacity-2 grids genuinely overlap work across traps."""
+        assert utilisation_summary(program)["parallelism"] > 1.2
+
+    def test_single_chain_has_no_movement_fraction(self):
+        code = RepetitionCode(3)
+        program = compile_memory_experiment(
+            code, code.num_qubits + 1, "linear", rounds=2
+        )
+        summary = utilisation_summary(program)
+        assert summary["movement_fraction"] == 0.0
+        # Everything serialises in one trap: parallelism ~ 1.
+        assert summary["parallelism"] == pytest.approx(1.0, abs=0.05)
+
+    def test_busiest_components_ranked(self, program):
+        ranking = busiest_components(program, top=3)
+        assert len(ranking) == 3
+        times = [t for _, t in ranking]
+        assert times == sorted(times, reverse=True)
+
+
+class TestGantt:
+    def test_gantt_renders(self, program):
+        traps = sorted({program.qubit_to_trap[q] for q in (0, 1)})
+        text = schedule_gantt(program, traps, 0, 2000, width=40)
+        lines = text.splitlines()
+        assert len(lines) == len(traps) + 1
+        for line in lines[1:]:
+            assert len(line.split("|")[1]) == 40
+
+    def test_gantt_shows_activity(self, program):
+        trap = program.qubit_to_trap[0]
+        text = schedule_gantt(program, [trap], width=60)
+        body = text.splitlines()[1]
+        assert any(ch != "." for ch in body.split("|")[1])
+
+    def test_gantt_validates_window(self, program):
+        with pytest.raises(ValueError):
+            schedule_gantt(program, [0], t0=100, t1=100)
