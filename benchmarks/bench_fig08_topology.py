@@ -12,9 +12,10 @@ import pytest
 
 from repro.codes import RotatedSurfaceCode
 from repro.core import steady_round_time
-from repro.toolflow import DesignSpaceExplorer, format_table
+from repro.engine import SweepSpec
+from repro.toolflow import format_table
 
-from _common import publish
+from _common import MASTER_SEED, publish, run_points
 
 DISTANCES = (3, 5, 7)
 
@@ -55,19 +56,19 @@ def test_fig08a_report(benchmark, round_times):
 
 
 def test_fig08b_grid_vs_switch_ler(benchmark):
-    explorer = DesignSpaceExplorer()
+    spec = SweepSpec(
+        distances=(3,),
+        capacities=(2,),
+        topologies=("grid", "switch"),
+        gate_improvements=(5.0,),
+        shots=4000,
+        master_seed=MASTER_SEED,
+    )
     rows = []
     rates = {}
-    for topo in ("grid", "switch"):
-        record = explorer.evaluate(
-            3,
-            capacity=2,
-            topology=topo,
-            gate_improvement=5.0,
-            shots=4000,
-        )
-        rates[topo] = record.ler_per_round
-        rows.append([topo, f"{record.ler_per_round:.2e}", record.failures])
+    for record in run_points(spec):
+        rates[record.topology] = record.ler_per_round
+        rows.append([record.topology, f"{record.ler_per_round:.2e}", record.failures])
     text = benchmark(format_table, ["topology", "LER/round", "failures"], rows)
     text += (
         "\n\npaper: grid and switch LER differences are statistically"

@@ -11,9 +11,11 @@ projection (the figures in the paper are themselves projections).
 
 import pytest
 
+from repro.engine import SweepSpec
+from repro.ler import fit_projection
 from repro.toolflow import format_table
 
-from _common import ler_point, ler_projection, publish
+from _common import MASTER_SEED, ler_point, publish, run_points
 
 
 def test_fig10_improvement_projections(benchmark):
@@ -24,13 +26,18 @@ def test_fig10_improvement_projections(benchmark):
         (5.0, "mwpm", 40000),
         (10.0, "mwpm", 80000),
     ):
-        points = []
-        for d in (3, 5):
-            record = ler_point(
-                d, 2, improvement, "standard", shots, decoder
-            )
-            points.append((d, record.ler_per_round))
-        proj = ler_projection(2, improvement, "standard", (3, 5), shots, decoder)
+        # One engine sweep per noise point: both distances share the
+        # session compilation cache and (optionally) the worker pool.
+        spec = SweepSpec(
+            distances=(3, 5),
+            capacities=(2,),
+            gate_improvements=(improvement,),
+            decoders=(decoder,),
+            shots=shots,
+            master_seed=MASTER_SEED,
+        )
+        points = [(r.distance, r.ler_per_round) for r in run_points(spec)]
+        proj = fit_projection(points)
         fits[improvement] = proj
         target = proj.distance_for(1e-9)
         rows.append([

@@ -4,11 +4,17 @@ Reproduces the architectural questions of Sections 7.2-7.3 at small
 scale: how does QEC round time depend on communication topology and on
 trap capacity, and why is a capacity of two the right choice?
 
+The grid studies run through the execution engine (``repro.engine``):
+a declarative :class:`SweepSpec` expands into jobs, each unique
+circuit is compiled once, and Monte-Carlo shots can be sharded over
+worker processes without changing any sampled number.
+
 Run:  python examples/design_space_exploration.py
 """
 
 from repro.codes import RotatedSurfaceCode
 from repro.core import steady_round_time
+from repro.engine import SweepSpec
 from repro.toolflow import DesignSpaceExplorer, format_table
 
 
@@ -50,11 +56,11 @@ def capacity_study(distances=(3, 5, 7)) -> None:
 def hardware_study() -> None:
     print("== Hardware footprint per design point (Sec. 5.2) ==")
     explorer = DesignSpaceExplorer()
+    spec = SweepSpec(distances=(5,), capacities=(2, 5, 12), rounds=2, shots=0)
     rows = []
-    for cap in (2, 5, 12):
-        record = explorer.evaluate(5, capacity=cap, topology="grid", rounds=2)
+    for record in explorer.sweep(spec):
         rows.append([
-            cap,
+            record.capacity,
             record.num_traps,
             record.num_junctions,
             record.electrodes,
@@ -66,10 +72,33 @@ def hardware_study() -> None:
     ))
     print("-> smaller traps need more junctions, but the electrode bill is\n"
           "   dominated by what the *logical error rate target* forces you\n"
-          "   to build (see the fig11 benchmark for that comparison).")
+          "   to build (see the fig11 benchmark for that comparison).\n")
+
+
+def ler_study(workers: int = 2) -> None:
+    print("== Engine-backed Monte-Carlo LER sweep (Sec. 6.4) ==")
+    explorer = DesignSpaceExplorer()
+    spec = SweepSpec(
+        distances=(3, 5),
+        capacities=(2,),
+        gate_improvements=(5.0,),
+        decoders=("mwpm", "union_find"),
+        shots=3000,
+        master_seed=2026,
+    )
+    records = explorer.sweep(spec, workers=workers, progress=True)
+    rows = [
+        [r.distance, r.extras["decoder"], r.failures, f"{r.ler_per_round:.2e}"]
+        for r in records
+    ]
+    print(format_table(["d", "decoder", "failures", "LER/round"], rows))
+    print("-> one SweepSpec = four jobs but only two compiled circuits\n"
+          "   (decoders share the cached DEM); shots are sharded over\n"
+          f"   {workers} worker processes with seed-stable streams.")
 
 
 if __name__ == "__main__":
     topology_study()
     capacity_study()
     hardware_study()
+    ler_study()

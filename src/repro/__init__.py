@@ -21,6 +21,10 @@ Subpackages
 - ``repro.baselines`` — QCCDSim-like and Muzzle-like comparators.
 - ``repro.ler`` — Monte-Carlo logical-error-rate estimation and the
   suppression-model projection used by the paper's figures.
+- ``repro.engine`` — sharded, cached experiment execution: declarative
+  sweep grids, content-addressed DEM/decoder-graph caching, serial and
+  multiprocessing backends with deterministic SeedSequence sharding,
+  resumable JSON-lines result stores.
 - ``repro.toolflow`` — the Figure-2 design-space exploration pipeline.
 
 Quick start
@@ -32,9 +36,9 @@ Quick start
 True
 """
 
-from . import arch, baselines, codes, core, decoders, ler, noise, sim, toolflow
+from . import arch, baselines, codes, core, decoders, engine, ler, noise, sim, toolflow
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "arch",
@@ -42,6 +46,7 @@ __all__ = [
     "codes",
     "core",
     "decoders",
+    "engine",
     "ler",
     "noise",
     "sim",

@@ -1,0 +1,60 @@
+"""repro.engine — sharded, cached experiment execution for Monte-Carlo sweeps.
+
+The uniform harness behind the paper's figure sweeps:
+
+- :class:`SweepSpec` / :class:`SweepJob` — a declarative grid over
+  (distance x capacity x topology x wiring x noise point x decoder)
+  that expands into a deterministic job list (``sweep.py``);
+- :class:`CompilationCache` — content-addressed in-memory + on-disk
+  caching of DEM extraction, detector graphs and decoders, so each
+  unique circuit is compiled exactly once per sweep (``cache.py``);
+- :class:`Runner` / :func:`run_sweep` with pluggable backends —
+  :class:`SerialBackend` and a :class:`MultiprocessBackend` that shards
+  shots over workers with independent ``SeedSequence`` streams and
+  merges failure counts bit-identically (``runner.py``);
+- :class:`ResultStore` / :class:`JobResult` — JSON-lines persistence
+  with resume: already-completed job keys are skipped (``results.py``);
+- :class:`ProgressReporter` — per-job narration (``progress.py``).
+
+Quick start
+-----------
+>>> from repro.engine import SweepSpec, run_sweep
+>>> spec = SweepSpec(distances=(3,), shots=0)          # compile-only
+>>> results = run_sweep(spec)
+>>> results[0].metrics["round_time_us"] > 0
+True
+"""
+
+from .cache import CompilationCache, CompiledCircuit, circuit_key
+from .progress import ProgressReporter
+from .results import JobResult, ResultStore
+from .runner import (
+    DEFAULT_SHARD_SHOTS,
+    MultiprocessBackend,
+    Runner,
+    SerialBackend,
+    Shard,
+    compile_design_point,
+    plan_shards,
+    run_sweep,
+)
+from .sweep import SweepJob, SweepSpec
+
+__all__ = [
+    "SweepSpec",
+    "SweepJob",
+    "CompilationCache",
+    "CompiledCircuit",
+    "circuit_key",
+    "Runner",
+    "run_sweep",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "Shard",
+    "plan_shards",
+    "compile_design_point",
+    "DEFAULT_SHARD_SHOTS",
+    "JobResult",
+    "ResultStore",
+    "ProgressReporter",
+]

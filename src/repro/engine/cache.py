@@ -1,0 +1,166 @@
+"""Content-addressed compilation cache for sweep execution.
+
+DEM extraction and detector-graph construction dominate the fixed cost
+of a Monte-Carlo point, and a sweep revisits the same circuit many
+times (one circuit per design point, shared by every decoder and every
+shot shard).  The cache keys compiled artefacts by a stable hash of
+the circuit *text* — the same serialisation that round-trips through
+:mod:`repro.sim.text_format` — so identical circuits hit regardless of
+how they were built.
+
+Two layers:
+
+- in-memory: ``circuit key -> CompiledCircuit`` (DEM + detector graph),
+  plus memoised decoder instances per (circuit, decoder name);
+- on-disk (optional ``cache_dir``): the merged DEM as JSON, so a fresh
+  process — a resumed run, or a multiprocessing worker pool — skips
+  DEM extraction entirely and only rebuilds the cheap graph.
+
+Counters (``hits`` / ``misses`` / ``disk_hits``) are exposed so tests
+can assert each unique circuit is compiled exactly once per sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..decoders.graph import DetectorGraph
+from ..ler.estimator import make_decoder
+from ..sim.circuit import StabilizerCircuit
+from ..sim.dem import DemError, DetectorErrorModel, circuit_to_dem
+
+
+def circuit_key(text: str) -> str:
+    """Content hash identifying a circuit by its text serialisation."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def dem_to_jsonable(dem: DetectorErrorModel) -> dict:
+    """JSON-safe representation of a detector error model."""
+    return {
+        "num_detectors": dem.num_detectors,
+        "num_observables": dem.num_observables,
+        "errors": [
+            [[int(d) for d in err.detectors],
+             [int(o) for o in err.observables],
+             float(err.probability)]
+            for err in dem.errors
+        ],
+    }
+
+
+def dem_from_jsonable(data: dict) -> DetectorErrorModel:
+    """Inverse of :func:`dem_to_jsonable`."""
+    errors = [
+        DemError(tuple(dets), tuple(obs), float(p))
+        for dets, obs, p in data["errors"]
+    ]
+    return DetectorErrorModel(
+        int(data["num_detectors"]), int(data["num_observables"]), errors
+    )
+
+
+@dataclass
+class CompiledCircuit:
+    """One circuit's cached compilation artefacts."""
+
+    key: str
+    circuit: StabilizerCircuit
+    text: str
+    dem: DetectorErrorModel
+    graph: DetectorGraph
+
+
+@dataclass
+class CompilationCache:
+    """In-memory + on-disk cache of DEMs, detector graphs and decoders."""
+
+    cache_dir: str | None = None
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    _compiled: dict[str, CompiledCircuit] = field(default_factory=dict, repr=False)
+    _decoders: dict[tuple[str, str], object] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if self.cache_dir:
+            os.makedirs(self.cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def compiled(self, circuit: StabilizerCircuit, text: str | None = None) -> CompiledCircuit:
+        """The DEM + detector graph for ``circuit``, compiling at most once."""
+        if text is None:
+            text = str(circuit)
+        key = circuit_key(text)
+        entry = self._compiled.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        dem = self._load_dem(key)
+        if dem is not None:
+            self.disk_hits += 1
+        else:
+            self.misses += 1
+            dem = circuit_to_dem(circuit)
+            self._store_dem(key, dem)
+        entry = CompiledCircuit(
+            key=key,
+            circuit=circuit,
+            text=text,
+            dem=dem,
+            graph=DetectorGraph.from_dem(dem),
+        )
+        self._compiled[key] = entry
+        return entry
+
+    def decoder(self, compiled: CompiledCircuit, name: str):
+        """A decoder for ``compiled``, constructed at most once per name."""
+        memo_key = (compiled.key, name)
+        dec = self._decoders.get(memo_key)
+        if dec is None:
+            dec = make_decoder(compiled.graph, name)
+            self._decoders[memo_key] = dec
+        return dec
+
+    # ------------------------------------------------------------------
+    @property
+    def unique_circuits(self) -> int:
+        return len(self._compiled)
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "unique_circuits": self.unique_circuits,
+        }
+
+    # ------------------------------------------------------------------
+    def _dem_path(self, key: str) -> str | None:
+        if not self.cache_dir:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.dem.json")
+
+    def _load_dem(self, key: str) -> DetectorErrorModel | None:
+        path = self._dem_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path) as fh:
+                return dem_from_jsonable(json.load(fh))
+        except (OSError, ValueError, KeyError):
+            return None  # corrupt entry: fall through to recompilation
+
+    def _store_dem(self, key: str, dem: DetectorErrorModel) -> None:
+        path = self._dem_path(key)
+        if path is None:
+            return
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(dem_to_jsonable(dem), fh)
+        os.replace(tmp, path)

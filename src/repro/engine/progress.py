@@ -1,0 +1,75 @@
+"""Progress reporting for sweep runs.
+
+Long sweeps are the normal case, so the runner narrates: one line per
+job (completed, or skipped via resume) with running counts and the
+job's failure tally, plus a final summary including compilation-cache
+statistics.  Disabled reporters swallow everything, so library callers
+pay nothing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """Prints one status line per finished job to ``stream``."""
+
+    def __init__(self, enabled: bool = True, stream=None):
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = 0
+        self.done = 0
+        self.skipped = 0
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def start(self, total: int) -> None:
+        self.total = total
+        self.done = 0
+        self.skipped = 0
+        self._t0 = time.monotonic()
+        self._emit(f"sweep: {total} job(s)")
+
+    def job_skipped(self, key: str) -> None:
+        self.done += 1
+        self.skipped += 1
+        self._emit(f"[{self.done}/{self.total}] skip (resumed) {key}")
+
+    def job_done(self, key: str, failures: int | None, elapsed_s: float) -> None:
+        self.done += 1
+        tally = "compile-only" if failures is None else f"failures={failures}"
+        self._emit(f"[{self.done}/{self.total}] done {key} {tally} ({elapsed_s:.1f}s)")
+
+    def finish(self, cache_stats: dict | None = None) -> None:
+        elapsed = time.monotonic() - self._t0
+        line = (
+            f"sweep finished: {self.done}/{self.total} job(s), "
+            f"{self.skipped} resumed, {elapsed:.1f}s"
+        )
+        if cache_stats:
+            line += (
+                f" | cache: {cache_stats['misses']} compiled, "
+                f"{cache_stats['hits']} hits, {cache_stats['disk_hits']} disk hits"
+            )
+        self._emit(line)
+
+    # ------------------------------------------------------------------
+    def _emit(self, line: str) -> None:
+        if not self.enabled:
+            return
+        print(line, file=self.stream)
+        if hasattr(self.stream, "flush"):
+            self.stream.flush()
+
+
+def make_progress(progress) -> ProgressReporter:
+    """Normalise a user-supplied progress argument.
+
+    Accepts a :class:`ProgressReporter`, a truthy flag (report to
+    stderr), or anything falsy (silent).
+    """
+    if isinstance(progress, ProgressReporter):
+        return progress
+    return ProgressReporter(enabled=bool(progress))

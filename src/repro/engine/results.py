@@ -1,0 +1,143 @@
+"""JSON-lines result persistence with resume support.
+
+Each completed :class:`~repro.engine.sweep.SweepJob` appends one JSON
+object to the store, keyed by the job's content hash.  Re-running a
+sweep against the same store skips every job whose key is already
+present — the property that makes long sweeps interruptible.  Loading
+is tolerant of a truncated final line (the signature of a run killed
+mid-write).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..ler.estimator import LerResult
+from .sweep import SweepJob
+
+
+@dataclass
+class JobResult:
+    """Outcome of one sweep job.
+
+    ``failures`` is ``None`` for compile-only jobs (``shots == 0``).
+    ``metrics`` carries the compiler / resource numbers for the design
+    point (field names match :class:`repro.toolflow.records.EvaluationRecord`),
+    so higher layers can rebuild full records from a resumed store.
+    """
+
+    job: SweepJob
+    shots: int
+    failures: int | None
+    rounds: int
+    metrics: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    resumed: bool = False
+    # The run configuration the sample was drawn under (master seed,
+    # shard layout, noise fingerprint).  A job key alone is not enough
+    # to reuse a stored result: the same design point sampled under a
+    # different seed or noise model is a different experiment.
+    run_config: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return self.job.key
+
+    @property
+    def ler(self) -> LerResult | None:
+        if self.failures is None:
+            return None
+        return LerResult(shots=self.shots, failures=self.failures, rounds=self.rounds)
+
+    @property
+    def per_shot(self) -> float | None:
+        ler = self.ler
+        return None if ler is None else ler.per_shot
+
+    @property
+    def per_round(self) -> float | None:
+        ler = self.ler
+        return None if ler is None else ler.per_round
+
+    def to_jsonable(self) -> dict:
+        return {
+            "key": self.key,
+            "job": self.job.to_dict(),
+            "shots": self.shots,
+            "failures": self.failures,
+            "rounds": self.rounds,
+            "metrics": self.metrics,
+            "extras": self.extras,
+            "elapsed_s": self.elapsed_s,
+            "run_config": self.run_config,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "JobResult":
+        return cls(
+            job=SweepJob.from_dict(data["job"]),
+            shots=int(data["shots"]),
+            failures=None if data["failures"] is None else int(data["failures"]),
+            rounds=int(data["rounds"]),
+            metrics=dict(data.get("metrics", {})),
+            extras=dict(data.get("extras", {})),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            resumed=True,
+            run_config=dict(data.get("run_config", {})),
+        )
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`JobResult` records."""
+
+    def __init__(self, path: str):
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+
+    def load(self) -> dict[str, JobResult]:
+        """All stored results by job key; silently drops corrupt lines.
+
+        Later lines win, so a job re-sampled under a new run
+        configuration supersedes the stale record.
+        """
+        results: dict[str, JobResult] = {}
+        if not os.path.exists(self.path):
+            return results
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    result = JobResult.from_jsonable(data)
+                except (ValueError, KeyError, TypeError):
+                    continue  # truncated / corrupt line from an interrupted run
+                results[result.key] = result
+        return results
+
+    def completed_keys(self) -> set[str]:
+        return set(self.load())
+
+    def append(self, result: JobResult) -> None:
+        # A run killed mid-write can leave a truncated final line with
+        # no newline; appending straight after it would corrupt this
+        # record too, so repair the separator first.
+        needs_newline = False
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        with open(self.path, "a") as fh:
+            if needs_newline:
+                fh.write("\n")
+            fh.write(json.dumps(result.to_jsonable()) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -1,0 +1,414 @@
+"""Sweep job execution: backends, sharding, and the Runner.
+
+The runner walks a :class:`~repro.engine.sweep.SweepSpec`'s job list,
+compiles each unique circuit exactly once through the
+:class:`~repro.engine.cache.CompilationCache`, and hands the
+Monte-Carlo sampling to a pluggable backend:
+
+- :class:`SerialBackend` runs every shot shard in-process;
+- :class:`MultiprocessBackend` fans shards out over a worker pool.
+
+Both consume the *same* shard plan: a job's shots are split into
+fixed-size shards, and shard ``i`` samples from an independent RNG
+stream spawned via ``np.random.SeedSequence`` from the sweep's master
+seed and the job key.  Failure totals are therefore bit-identical
+across backends and across worker counts — parallelism changes only
+where a shard runs, never what it samples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.wiring import wiring_by_name
+from ..codes import make_code
+from ..core.compiler import CompilerConfig, QccdCompiler
+from ..core.stim_export import program_to_circuit
+from ..decoders.graph import DetectorGraph
+from ..ler.estimator import make_decoder
+from ..noise.parameters import DEFAULT_NOISE, NoiseParameters
+from ..sim.circuit import StabilizerCircuit
+from ..sim.frame import FrameSimulator
+from ..sim.text_format import circuit_from_text
+from .cache import CompilationCache, CompiledCircuit, dem_from_jsonable, dem_to_jsonable
+from .progress import make_progress
+from .results import JobResult, ResultStore
+from .sweep import SweepJob, SweepSpec
+
+DEFAULT_SHARD_SHOTS = 2048
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """A fixed slice of one job's shot budget with its own RNG stream."""
+
+    index: int
+    shots: int
+    seed: np.random.SeedSequence
+
+
+def plan_shards(
+    shots: int,
+    shard_shots: int,
+    master_seed: int,
+    job_key: str,
+) -> list[Shard]:
+    """Deterministic shard layout for one job.
+
+    The layout depends only on (shots, shard_shots, master_seed,
+    job_key) — never on the backend or worker count — which is what
+    makes sharded and serial execution agree exactly.
+    """
+    if shots <= 0:
+        return []
+    if shard_shots < 1:
+        raise ValueError("shard_shots must be positive")
+    n = math.ceil(shots / shard_shots)
+    digest = int.from_bytes(hashlib.sha256(job_key.encode()).digest()[:8], "big")
+    children = np.random.SeedSequence((master_seed, digest)).spawn(n)
+    shards = []
+    remaining = shots
+    for i, child in enumerate(children):
+        take = min(shard_shots, remaining)
+        shards.append(Shard(index=i, shots=take, seed=child))
+        remaining -= take
+    return shards
+
+
+def sample_shard(
+    circuit: StabilizerCircuit, decoder, shard: Shard
+) -> int:
+    """Sample one shard and count its logical failures."""
+    sample = FrameSimulator(circuit, seed=shard.seed).sample(shard.shots)
+    return int(decoder.logical_failures(sample.detectors, sample.observables).sum())
+
+
+# ----------------------------------------------------------------------
+# Execution backends
+# ----------------------------------------------------------------------
+class SerialBackend:
+    """Runs every shard in-process, reusing the parent's cache."""
+
+    name = "serial"
+
+    def run_job(
+        self,
+        job: SweepJob,
+        compiled: CompiledCircuit,
+        shards: list[Shard],
+        cache: CompilationCache,
+    ) -> int:
+        decoder = cache.decoder(compiled, job.decoder)
+        return sum(sample_shard(compiled.circuit, decoder, s) for s in shards)
+
+    def close(self) -> None:
+        pass
+
+    def terminate(self) -> None:
+        pass
+
+
+# Per-worker-process memo: each worker parses / builds a circuit's
+# artefacts at most once, however many shards of it it draws.
+_WORKER_CIRCUITS: dict = {}
+_WORKER_DECODERS: dict = {}
+
+
+def _init_worker() -> None:
+    # Ctrl-C is the parent's business: a SIGINT delivered to the whole
+    # foreground group must not kill workers mid-task, or the pool
+    # teardown deadlocks.  The parent terminates the pool instead.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _run_shard_payload(payload) -> int:
+    """Worker-side shard execution (must stay module-level picklable)."""
+    key, circuit_text, dem_data, decoder_name, shots, seed = payload
+    entry = _WORKER_CIRCUITS.get(key)
+    if entry is None:
+        circuit = circuit_from_text(circuit_text)
+        graph = DetectorGraph.from_dem(dem_from_jsonable(dem_data))
+        entry = (circuit, graph)
+        _WORKER_CIRCUITS[key] = entry
+    circuit, graph = entry
+    decoder = _WORKER_DECODERS.get((key, decoder_name))
+    if decoder is None:
+        decoder = make_decoder(graph, decoder_name)
+        _WORKER_DECODERS[(key, decoder_name)] = decoder
+    return sample_shard(circuit, decoder, Shard(index=0, shots=shots, seed=seed))
+
+
+class MultiprocessBackend:
+    """Fans shot shards out over a ``multiprocessing`` pool.
+
+    The parent compiles once; workers receive the circuit text plus the
+    already-extracted DEM (as JSON-safe data), so no worker ever redoes
+    DEM extraction — they only rebuild the cheap detector graph, once
+    per process per unique circuit.
+    """
+
+    name = "multiprocess"
+
+    def __init__(self, max_workers: int | None = None, start_method: str | None = None):
+        self.max_workers = max_workers if max_workers else (os.cpu_count() or 2)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(
+                processes=self.max_workers, initializer=_init_worker
+            )
+        return self._pool
+
+    def run_job(
+        self,
+        job: SweepJob,
+        compiled: CompiledCircuit,
+        shards: list[Shard],
+        cache: CompilationCache,
+    ) -> int:
+        dem_data = dem_to_jsonable(compiled.dem)
+        payloads = [
+            (compiled.key, compiled.text, dem_data, job.decoder, s.shots, s.seed)
+            for s in shards
+        ]
+        pool = self._ensure_pool()
+        return sum(pool.map(_run_shard_payload, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard shutdown: abandon in-flight shards (interrupt path)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, *exc):
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+
+# ----------------------------------------------------------------------
+# Job compilation (design point -> noisy circuit + metrics)
+# ----------------------------------------------------------------------
+@dataclass
+class JobArtifacts:
+    """Parent-side compilation products shared by jobs with equal
+    ``circuit_params``."""
+
+    metrics: dict
+    extras: dict = field(default_factory=dict)
+    circuit: StabilizerCircuit | None = None
+    text: str | None = None
+
+
+def compile_design_point(
+    job: SweepJob,
+    noise: NoiseParameters,
+    need_circuit: bool,
+    wiring_method=None,
+) -> JobArtifacts:
+    """Run one design point through compile -> schedule -> resources,
+    optionally exporting the noisy stabilizer circuit for sampling.
+
+    ``wiring_method`` overrides the lookup of ``job.wiring`` by name —
+    the hook the toolflow uses to evaluate custom wiring schemes.
+    """
+    if wiring_method is None:
+        wiring_method = wiring_by_name(job.wiring)
+    code = make_code(job.code, job.distance)
+    config = CompilerConfig(
+        code=code,
+        trap_capacity=job.capacity,
+        topology=job.topology,
+        wiring=wiring_method,
+        rounds=job.rounds,
+        basis=job.basis,
+    )
+    compiler = QccdCompiler(config)
+    program = compiler.compile()
+    placement = compiler.placement()
+    resources = wiring_method.resources(placement.device)
+    metrics = {
+        "code": job.code,
+        "distance": job.distance,
+        "capacity": job.capacity,
+        "topology": job.topology,
+        "wiring": wiring_method.name,
+        "gate_improvement": job.gate_improvement,
+        "rounds": job.rounds,
+        "round_time_us": program.stats.round_time_us,
+        "makespan_us": program.stats.makespan_us,
+        "movement_ops": program.stats.movement_ops,
+        "movement_time_us": program.stats.movement_time_us,
+        "gate_swaps": program.stats.gate_swaps,
+        "num_traps": resources.num_traps,
+        "num_junctions": resources.num_junctions,
+        "electrodes": resources.electrodes,
+        "num_dacs": resources.num_dacs,
+        "data_rate_bitps": resources.data_rate_bitps,
+        "power_w": resources.power_w,
+    }
+    artifacts = JobArtifacts(metrics=metrics)
+    if need_circuit:
+        point_noise = noise.improved(job.gate_improvement)
+        if wiring_method.cooled_gates:
+            point_noise = point_noise.with_cooling()
+        export = program_to_circuit(program, code, point_noise, basis=job.basis)
+        artifacts.circuit = export.circuit
+        artifacts.text = str(export.circuit)
+        artifacts.extras["max_nbar"] = export.max_nbar
+    return artifacts
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class Runner:
+    """Executes a sweep: compile (cached), sample (sharded), persist."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        *,
+        backend=None,
+        workers: int = 0,
+        cache: CompilationCache | None = None,
+        cache_dir: str | None = None,
+        store: ResultStore | None = None,
+        results_path: str | None = None,
+        noise: NoiseParameters | None = None,
+        shard_shots: int = DEFAULT_SHARD_SHOTS,
+        progress=False,
+    ):
+        self.spec = spec
+        self._own_backend = backend is None
+        if backend is None:
+            backend = (
+                MultiprocessBackend(workers) if workers and workers > 1
+                else SerialBackend()
+            )
+        self.backend = backend
+        self.cache = cache if cache is not None else CompilationCache(cache_dir)
+        if store is None and results_path:
+            store = ResultStore(results_path)
+        self.store = store
+        self.noise = noise if noise is not None else DEFAULT_NOISE
+        if shard_shots < 1:
+            raise ValueError("shard_shots must be positive")
+        self.shard_shots = shard_shots
+        self.progress = make_progress(progress)
+        self._artifacts: dict[tuple, JobArtifacts] = {}
+        # What makes two samplings of the same job comparable: stored
+        # results are only reused when all of this matches.
+        self.run_config = {
+            "master_seed": self.spec.master_seed,
+            "shard_shots": self.shard_shots,
+            "noise": hashlib.sha256(repr(self.noise).encode()).hexdigest()[:12],
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[JobResult]:
+        jobs = self.spec.expand()
+        self.progress.start(len(jobs))
+        completed = self.store.load() if self.store is not None else {}
+        results: list[JobResult] = []
+        try:
+            for job in jobs:
+                prior = completed.get(job.key)
+                if prior is not None and self._reusable(job, prior):
+                    results.append(prior)
+                    self.progress.job_skipped(job.key)
+                    continue
+                # Missing, or sampled under a different seed / shard
+                # layout / noise model: re-run (the fresh record
+                # supersedes the stale one on the next load).
+                results.append(self._run_job(job))
+        except BaseException:
+            # Interrupt / failure mid-sweep: a graceful close() would
+            # wait for every queued shard, so tear the pool down hard.
+            # Completed jobs are already in the store for resume.
+            if self._own_backend:
+                self.backend.terminate()
+            raise
+        else:
+            if self._own_backend:
+                self.backend.close()
+        self.progress.finish(self.cache.stats())
+        return results
+
+    # ------------------------------------------------------------------
+    def _reusable(self, job: SweepJob, prior: JobResult) -> bool:
+        """Whether a stored result is the same experiment as this run.
+
+        Compile-only jobs never sampled anything, so the sampling
+        configuration (seed, shard layout, noise) cannot invalidate
+        them.
+        """
+        if job.shots == 0:
+            return True
+        return prior.run_config == self.run_config
+
+    def _run_job(self, job: SweepJob) -> JobResult:
+        t0 = time.perf_counter()
+        artifacts = self._artifacts_for(job)
+        failures: int | None = None
+        if job.shots > 0:
+            compiled = self.cache.compiled(artifacts.circuit, artifacts.text)
+            shards = plan_shards(
+                job.shots, self.shard_shots, self.spec.master_seed, job.key
+            )
+            failures = self.backend.run_job(job, compiled, shards, self.cache)
+        result = JobResult(
+            job=job,
+            shots=job.shots,
+            failures=failures,
+            rounds=job.rounds,
+            metrics=dict(artifacts.metrics),
+            extras=dict(artifacts.extras),
+            elapsed_s=time.perf_counter() - t0,
+            run_config=dict(self.run_config),
+        )
+        if self.store is not None:
+            self.store.append(result)
+        self.progress.job_done(job.key, failures, result.elapsed_s)
+        return result
+
+    def _artifacts_for(self, job: SweepJob) -> JobArtifacts:
+        params = job.circuit_params
+        artifacts = self._artifacts.get(params)
+        need_circuit = job.shots > 0
+        if artifacts is None or (need_circuit and artifacts.circuit is None):
+            artifacts = compile_design_point(job, self.noise, need_circuit)
+            self._artifacts[params] = artifacts
+        return artifacts
+
+
+def run_sweep(spec: SweepSpec, **kwargs) -> list[JobResult]:
+    """One-call sweep execution; see :class:`Runner` for options."""
+    return Runner(spec, **kwargs).run()

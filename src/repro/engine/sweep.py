@@ -1,0 +1,164 @@
+"""Declarative Monte-Carlo sweep specifications.
+
+Every figure in the paper is a grid over (code distance x noise point x
+topology x decoder x ...).  A :class:`SweepSpec` names that grid once;
+``expand()`` turns it into a deterministic, stably-ordered list of
+:class:`SweepJob` atoms.  Each job carries a content-derived ``key`` so
+result stores can resume across runs and caches can recognise repeated
+work, and a ``circuit_params`` tuple identifying which jobs share one
+compiled circuit (jobs differing only in decoder or shot count reuse
+the same DEM and detector graph).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+
+_CODES = ("rotated_surface", "unrotated_surface", "repetition")
+_TOPOLOGIES = ("grid", "linear", "switch")
+_WIRINGS = ("standard", "wise")
+_DECODERS = ("mwpm", "union_find")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One atomic unit of sweep work: a single design point + decoder.
+
+    A job is fully self-describing and picklable, so it can be shipped
+    to worker processes, serialised into a JSON-lines result store, and
+    reconstructed on resume.
+    """
+
+    code: str
+    distance: int
+    capacity: int
+    topology: str
+    wiring: str
+    gate_improvement: float
+    decoder: str
+    rounds: int
+    shots: int
+    basis: str = "Z"
+
+    @property
+    def circuit_params(self) -> tuple:
+        """The fields that determine the compiled noisy circuit.
+
+        Decoder choice and shot budget do not change the circuit, so
+        jobs agreeing on this tuple share one DEM / detector graph.
+        """
+        return (
+            self.code,
+            self.distance,
+            self.capacity,
+            self.topology,
+            self.wiring,
+            self.gate_improvement,
+            self.rounds,
+            self.basis,
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable, human-scannable identity: label prefix + content hash."""
+        payload = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:12]
+        return (
+            f"{self.code}-d{self.distance}-c{self.capacity}-{self.topology}"
+            f"-{self.wiring}-x{self.gate_improvement:g}-{self.decoder}"
+            f"-r{self.rounds}-n{self.shots}-{digest}"
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepJob":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of design points to evaluate.
+
+    ``expand()`` iterates the axes in declaration order (distance
+    outermost, decoder innermost), which fixes the job order across
+    runs — the property resume and progress reporting rely on.
+    ``rounds=None`` means "rounds = distance" per job, matching the
+    paper's memory experiments.
+    """
+
+    distances: tuple[int, ...]
+    code: str = "rotated_surface"
+    capacities: tuple[int, ...] = (2,)
+    topologies: tuple[str, ...] = ("grid",)
+    wirings: tuple[str, ...] = ("standard",)
+    gate_improvements: tuple[float, ...] = (1.0,)
+    decoders: tuple[str, ...] = ("mwpm",)
+    rounds: int | None = None
+    shots: int = 2000
+    basis: str = "Z"
+    master_seed: int = 2026
+
+    def __post_init__(self):
+        for name in ("distances", "capacities", "topologies", "wirings",
+                     "gate_improvements", "decoders"):
+            value = tuple(getattr(self, name))
+            if not value:
+                raise ValueError(f"{name} must be non-empty")
+            object.__setattr__(self, name, value)
+        if self.code not in _CODES:
+            raise ValueError(f"unknown code {self.code!r}; expected one of {_CODES}")
+        for topo in self.topologies:
+            if topo not in _TOPOLOGIES:
+                raise ValueError(
+                    f"unknown topology {topo!r}; expected one of {_TOPOLOGIES}")
+        for wiring in self.wirings:
+            if wiring not in _WIRINGS:
+                raise ValueError(
+                    f"unknown wiring {wiring!r}; expected one of {_WIRINGS}")
+        for dec in self.decoders:
+            if dec not in _DECODERS:
+                raise ValueError(
+                    f"unknown decoder {dec!r}; expected one of {_DECODERS}")
+        if any(d < 2 for d in self.distances):
+            raise ValueError("distances must be >= 2")
+        if any(c < 1 for c in self.capacities):
+            raise ValueError("capacities must be >= 1")
+        if self.rounds is not None and self.rounds < 1:
+            raise ValueError("rounds must be positive (or None for rounds=distance)")
+        if self.shots < 0:
+            raise ValueError("shots must be non-negative (0 = compile-only)")
+
+    @property
+    def num_jobs(self) -> int:
+        return (
+            len(self.distances) * len(self.capacities) * len(self.topologies)
+            * len(self.wirings) * len(self.gate_improvements) * len(self.decoders)
+        )
+
+    def expand(self) -> list[SweepJob]:
+        """The deterministic job list for this grid."""
+        jobs = []
+        for d in self.distances:
+            for cap in self.capacities:
+                for topo in self.topologies:
+                    for wiring in self.wirings:
+                        for improvement in self.gate_improvements:
+                            for decoder in self.decoders:
+                                jobs.append(SweepJob(
+                                    code=self.code,
+                                    distance=d,
+                                    capacity=cap,
+                                    topology=topo,
+                                    wiring=wiring,
+                                    gate_improvement=improvement,
+                                    decoder=decoder,
+                                    rounds=self.rounds if self.rounds is not None else d,
+                                    shots=self.shots,
+                                    basis=self.basis,
+                                ))
+        return jobs

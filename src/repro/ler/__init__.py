@@ -3,6 +3,7 @@
 from .estimator import (
     LerResult,
     estimate_logical_error_rate,
+    estimate_sweep,
     estimate_until_failures,
     make_decoder,
 )
@@ -12,6 +13,7 @@ from .threshold import ThresholdScan, scan_threshold
 __all__ = [
     "LerResult",
     "estimate_logical_error_rate",
+    "estimate_sweep",
     "estimate_until_failures",
     "make_decoder",
     "LerProjection",

@@ -28,6 +28,10 @@ class LerResult:
     failures: int
     rounds: int
 
+    def __post_init__(self):
+        if self.rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {self.rounds}")
+
     @property
     def per_shot(self) -> float:
         """Jeffreys-smoothed failure probability per shot."""
@@ -36,12 +40,13 @@ class LerResult:
     @property
     def per_round(self) -> float:
         p = min(self.per_shot, 1.0 - 1e-12)
-        return 1.0 - (1.0 - p) ** (1.0 / max(self.rounds, 1))
+        return 1.0 - (1.0 - p) ** (1.0 / self.rounds)
 
     @property
     def stderr_per_shot(self) -> float:
+        """Standard error of ``per_shot``, on the same smoothed denominator."""
         p = self.per_shot
-        return math.sqrt(p * (1.0 - p) / self.shots)
+        return math.sqrt(p * (1.0 - p) / (self.shots + 1.0))
 
     @property
     def observed_any_failure(self) -> bool:
@@ -109,3 +114,20 @@ def estimate_until_failures(
         )
         shots += take
     return LerResult(shots=shots, failures=failures, rounds=rounds)
+
+
+def estimate_sweep(spec, **runner_options):
+    """Engine-backed LER estimation over a whole design-space grid.
+
+    ``spec`` is a :class:`repro.engine.SweepSpec`; ``runner_options``
+    are forwarded to :class:`repro.engine.Runner` (``workers``,
+    ``cache`` / ``cache_dir``, ``store`` / ``results_path``,
+    ``shard_shots``, ``progress``, ...).  Returns the engine's
+    :class:`repro.engine.JobResult` list, whose ``ler`` property yields
+    a :class:`LerResult` per sampled job.  Unlike
+    :func:`estimate_logical_error_rate`, circuits shared between jobs
+    are compiled once and shots may be sharded over worker processes.
+    """
+    from ..engine.runner import run_sweep  # deferred: engine builds on this module
+
+    return run_sweep(spec, **runner_options)

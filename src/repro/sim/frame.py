@@ -102,14 +102,42 @@ class FrameState:
             raise ValueError(f"not a unitary gate: {name}")
 
 
+def _parity_plan(groups: list[list[int]]):
+    """Precomputed index arrays for batched record-parity accumulation.
+
+    Returns ``(cols, offsets, out_idx)`` such that
+    ``np.bitwise_xor.reduceat(record[:, cols], offsets, axis=1)`` yields
+    one XOR-parity column per non-empty group, destined for output
+    column ``out_idx[j]``; or ``None`` when every group is empty.
+    """
+    nonempty = [(i, recs) for i, recs in enumerate(groups) if recs]
+    if not nonempty:
+        return None
+    cols = np.concatenate(
+        [np.asarray(recs, dtype=np.intp) for _, recs in nonempty]
+    )
+    lengths = np.array([len(recs) for _, recs in nonempty], dtype=np.intp)
+    offsets = np.concatenate(([0], np.cumsum(lengths[:-1])))
+    out_idx = np.array([i for i, _ in nonempty], dtype=np.intp)
+    return cols, offsets, out_idx
+
+
 class FrameSimulator:
     """Samples measurement-flip / detector / observable data in bulk."""
 
-    def __init__(self, circuit: StabilizerCircuit, seed: int | None = None):
+    def __init__(
+        self,
+        circuit: StabilizerCircuit,
+        seed: int | np.random.SeedSequence | None = None,
+    ):
         self.circuit = circuit
         self._rng = np.random.default_rng(seed)
-        self._det_records = circuit.detector_records()
-        self._obs_records = circuit.observable_records()
+        det_records = circuit.detector_records()
+        obs_groups: list[list[int]] = [[] for _ in range(circuit.num_observables)]
+        for idx, recs in circuit.observable_records().items():
+            obs_groups[idx] = recs
+        self._det_plan = _parity_plan(det_records)
+        self._obs_plan = _parity_plan(obs_groups)
 
     def sample(self, shots: int) -> SampleResult:
         """Sample ``shots`` runs of the circuit."""
@@ -199,12 +227,19 @@ class FrameSimulator:
             else:
                 raise ValueError(f"frame simulator cannot handle {name}")
 
+        # Parity accumulation: gather each annotation's record columns
+        # into one block and XOR-reduce every segment in a single
+        # vectorised pass (indices precomputed at construction).
         detectors = np.zeros((shots, circ.num_detectors), dtype=bool)
-        for i, recs in enumerate(self._det_records):
-            for r in recs:
-                detectors[:, i] ^= record[:, r]
+        if self._det_plan is not None:
+            cols, offsets, out_idx = self._det_plan
+            detectors[:, out_idx] = np.bitwise_xor.reduceat(
+                record[:, cols], offsets, axis=1
+            )
         observables = np.zeros((shots, circ.num_observables), dtype=bool)
-        for idx, recs in self._obs_records.items():
-            for r in recs:
-                observables[:, idx] ^= record[:, r]
+        if self._obs_plan is not None:
+            cols, offsets, out_idx = self._obs_plan
+            observables[:, out_idx] = np.bitwise_xor.reduceat(
+                record[:, cols], offsets, axis=1
+            )
         return SampleResult(record, detectors, observables)

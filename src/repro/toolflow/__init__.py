@@ -1,12 +1,13 @@
 """Design-space exploration toolflow (the paper's Figure 2 pipeline)."""
 
-from .explorer import DesignSpaceExplorer
+from .explorer import DesignSpaceExplorer, record_from_job_result
 from .records import EvaluationRecord
 from .report import format_table, ratio
 from .sensitivity import SensitivityEntry, sensitivity_analysis
 
 __all__ = [
     "DesignSpaceExplorer",
+    "record_from_job_result",
     "EvaluationRecord",
     "format_table",
     "ratio",

@@ -5,13 +5,17 @@ Usage examples::
     python -m repro.toolflow.cli evaluate --distance 3 --capacity 2
     python -m repro.toolflow.cli sweep --distances 3 5 --capacities 2 5 \\
         --topology grid --csv results.csv
+    python -m repro.toolflow.cli sweep --distances 3 5 --shots 20000 \\
+        --workers 4 --results sweep.jsonl --cache-dir .demcache --progress
     python -m repro.toolflow.cli project --distances 3 5 \\
         --improvement 5 --shots 8000 --target 1e-9
 
 ``evaluate`` runs one design point (optionally with a Monte-Carlo LER
-estimate), ``sweep`` tabulates a grid of design points, ``project``
-fits the suppression model and reports the code distance needed for a
-target logical error rate.
+estimate), ``sweep`` runs a grid of design points through the
+execution engine (``repro.engine``) — with optional multiprocessing
+shot sharding, an on-disk compilation cache, and JSONL resume —
+``project`` fits the suppression model and reports the code distance
+needed for a target logical error rate.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import argparse
 import csv
 import sys
 
+from ..engine.runner import DEFAULT_SHARD_SHOTS
 from ..ler.projection import fit_projection
 from .explorer import DesignSpaceExplorer
 from .report import format_table
@@ -85,7 +90,35 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    records = _evaluate_records(args, args.distances, args.capacities)
+    """Grid sweep driven by the execution engine (repro.engine).
+
+    Unlike ``evaluate``, this compiles each unique circuit once, can
+    shard Monte-Carlo shots over worker processes, and can resume an
+    interrupted sweep from a JSON-lines result store.
+    """
+    from ..engine import SweepSpec
+
+    spec = SweepSpec(
+        code=args.code,
+        distances=tuple(args.distances),
+        capacities=tuple(args.capacities),
+        topologies=(args.topology,),
+        wirings=(args.wiring,),
+        gate_improvements=(args.improvement,),
+        decoders=(args.decoder,),
+        rounds=args.rounds,
+        shots=args.shots,
+        master_seed=args.seed,
+    )
+    explorer = DesignSpaceExplorer(code_name=args.code, seed=args.seed)
+    records = explorer.sweep(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        results_path=args.results,
+        shard_shots=args.shard_shots,
+        progress=args.progress,
+    )
     _print_records(records, args.csv)
     return 0
 
@@ -123,10 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
-    p_sweep = sub.add_parser("sweep", help="grid of design points")
+    p_sweep = sub.add_parser(
+        "sweep", help="grid of design points (engine-backed; shardable, resumable)"
+    )
     p_sweep.add_argument("--distances", type=int, nargs="+", required=True)
     p_sweep.add_argument("--capacities", type=int, nargs="+", default=[2])
     p_sweep.add_argument("--csv", default=None)
+    p_sweep.add_argument("--workers", type=int, default=0,
+                         help="worker processes for shot sharding (0/1 = serial)")
+    p_sweep.add_argument("--shard-shots", type=int, default=DEFAULT_SHARD_SHOTS,
+                         help="shots per shard (fixed; determines RNG streams)")
+    p_sweep.add_argument("--results", default=None, metavar="PATH",
+                         help="JSONL result store; completed jobs are "
+                              "skipped on re-run")
+    p_sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="on-disk DEM cache shared across runs")
+    p_sweep.add_argument("--progress", action="store_true",
+                         help="per-job progress lines on stderr")
     _add_common(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 

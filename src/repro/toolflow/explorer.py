@@ -11,13 +11,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..arch.wiring import WiringMethod, wiring_by_name
-from ..codes import make_code
-from ..core.compiler import CompilerConfig, QccdCompiler
-from ..core.stim_export import program_to_circuit
+from ..engine.runner import Runner, compile_design_point
+from ..engine.sweep import SweepJob
 from ..ler.estimator import estimate_logical_error_rate
 from ..ler.projection import LerProjection, fit_projection
 from ..noise.parameters import DEFAULT_NOISE, NoiseParameters
 from .records import EvaluationRecord
+
+
+def record_from_job_result(result) -> EvaluationRecord:
+    """Rebuild an :class:`EvaluationRecord` from an engine
+    :class:`repro.engine.JobResult` (fresh or resumed from a store)."""
+    record = EvaluationRecord(**result.metrics)
+    record.extras.update(result.extras)
+    record.extras["decoder"] = result.job.decoder
+    record.extras["job_key"] = result.job.key
+    ler = result.ler
+    if ler is not None:
+        record.shots = ler.shots
+        record.failures = ler.failures
+        record.ler_per_shot = ler.per_shot
+        record.ler_per_round = ler.per_round
+    return record
 
 
 @dataclass
@@ -45,48 +60,26 @@ class DesignSpaceExplorer:
             wiring if isinstance(wiring, WiringMethod) else wiring_by_name(wiring)
         )
         rounds = rounds if rounds is not None else distance
-        code = make_code(self.code_name, distance)
-        config = CompilerConfig(
-            code=code,
-            trap_capacity=capacity,
-            topology=topology,
-            wiring=wiring_method,
-            rounds=rounds,
-            basis=basis,
-        )
-        compiler = QccdCompiler(config)
-        program = compiler.compile()
-        placement = compiler.placement()
-        resources = wiring_method.resources(placement.device)
-
-        record = EvaluationRecord(
+        job = SweepJob(
             code=self.code_name,
             distance=distance,
             capacity=capacity,
             topology=topology,
             wiring=wiring_method.name,
             gate_improvement=gate_improvement,
+            decoder=decoder,
             rounds=rounds,
-            round_time_us=program.stats.round_time_us,
-            makespan_us=program.stats.makespan_us,
-            movement_ops=program.stats.movement_ops,
-            movement_time_us=program.stats.movement_time_us,
-            gate_swaps=program.stats.gate_swaps,
-            num_traps=resources.num_traps,
-            num_junctions=resources.num_junctions,
-            electrodes=resources.electrodes,
-            num_dacs=resources.num_dacs,
-            data_rate_bitps=resources.data_rate_bitps,
-            power_w=resources.power_w,
+            shots=shots,
+            basis=basis,
         )
+        artifacts = compile_design_point(
+            job, self.noise, need_circuit=shots > 0, wiring_method=wiring_method
+        )
+        record = EvaluationRecord(**artifacts.metrics)
 
         if shots > 0:
-            noise = self.noise.improved(gate_improvement)
-            if wiring_method.cooled_gates:
-                noise = noise.with_cooling()
-            export = program_to_circuit(program, code, noise, basis=basis)
             result = estimate_logical_error_rate(
-                export.circuit,
+                artifacts.circuit,
                 rounds=rounds,
                 shots=shots,
                 decoder=decoder,
@@ -96,12 +89,33 @@ class DesignSpaceExplorer:
             record.failures = result.failures
             record.ler_per_shot = result.per_shot
             record.ler_per_round = result.per_round
-            record.extras["max_nbar"] = export.max_nbar
+            record.extras.update(artifacts.extras)
         return record
 
     # ------------------------------------------------------------------
     # Figure-level sweeps
     # ------------------------------------------------------------------
+    def sweep(self, spec, **runner_options) -> list[EvaluationRecord]:
+        """Run a :class:`repro.engine.SweepSpec` grid through the engine.
+
+        Unlike :meth:`evaluate` in a loop, the engine compiles each
+        unique circuit's DEM / detector graph once, can shard shots
+        over worker processes (``workers=N``), and can resume from a
+        JSON-lines store (``results_path=...``) — see
+        :class:`repro.engine.Runner` for the options.  The explorer's
+        noise model is applied; the sweep's ``master_seed`` governs
+        sampling.
+        """
+        if spec.code != self.code_name:
+            raise ValueError(
+                f"spec.code {spec.code!r} disagrees with this explorer's "
+                f"code_name {self.code_name!r}; build the SweepSpec with "
+                f"code={self.code_name!r}"
+            )
+        runner_options.setdefault("noise", self.noise)
+        results = Runner(spec, **runner_options).run()
+        return [record_from_job_result(r) for r in results]
+
     def sweep_distances(
         self,
         distances: list[int],

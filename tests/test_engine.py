@@ -1,0 +1,299 @@
+"""Execution-engine tests: sweep expansion, determinism across
+backends and worker counts, compilation caching, and JSONL resume."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.codes import RepetitionCode, UniformNoise, ideal_memory_circuit
+from repro.engine import (
+    CompilationCache,
+    JobResult,
+    MultiprocessBackend,
+    ResultStore,
+    Runner,
+    SweepJob,
+    SweepSpec,
+    plan_shards,
+    run_sweep,
+)
+from repro.ler import estimate_sweep
+from repro.sim import FrameSimulator
+
+SHOTS = 600
+SHARD = 128
+
+
+def small_spec(**overrides):
+    base = dict(
+        distances=(2, 3),
+        capacities=(2,),
+        gate_improvements=(1.0,),
+        shots=SHOTS,
+        rounds=2,
+        master_seed=7,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestSweepSpec:
+    def test_expansion_is_deterministic_and_ordered(self):
+        spec = small_spec(distances=(3, 2), decoders=("mwpm", "union_find"))
+        jobs = spec.expand()
+        assert len(jobs) == spec.num_jobs == 4
+        assert [j.distance for j in jobs] == [3, 3, 2, 2]
+        assert [j.decoder for j in jobs] == ["mwpm", "union_find"] * 2
+        assert jobs == spec.expand()  # stable across calls
+
+    def test_job_key_is_content_stable(self):
+        job = small_spec().expand()[0]
+        clone = SweepJob.from_dict(job.to_dict())
+        assert clone == job
+        assert clone.key == job.key
+        other = small_spec(master_seed=8).expand()[0]
+        assert other.key == job.key  # master seed is not job content
+
+    def test_jobs_sharing_circuit_params(self):
+        spec = small_spec(distances=(2,), decoders=("mwpm", "union_find"))
+        a, b = spec.expand()
+        assert a.circuit_params == b.circuit_params
+        assert a.key != b.key
+
+    def test_rounds_default_to_distance(self):
+        spec = small_spec(rounds=None)
+        assert [j.rounds for j in spec.expand()] == [2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_spec(distances=())
+        with pytest.raises(ValueError):
+            small_spec(topologies=("torus",))
+        with pytest.raises(ValueError):
+            small_spec(decoders=("bp",))
+        with pytest.raises(ValueError):
+            small_spec(code="color")
+        with pytest.raises(ValueError):
+            small_spec(shots=-1)
+        with pytest.raises(ValueError):
+            small_spec(rounds=0)
+
+
+class TestShardPlanning:
+    def test_layout_covers_shots_exactly(self):
+        shards = plan_shards(1000, 300, master_seed=1, job_key="k")
+        assert [s.shots for s in shards] == [300, 300, 300, 100]
+        assert [s.index for s in shards] == [0, 1, 2, 3]
+
+    def test_streams_are_deterministic_and_distinct(self):
+        a = plan_shards(500, 200, master_seed=1, job_key="k")
+        b = plan_shards(500, 200, master_seed=1, job_key="k")
+        states = [s.seed.generate_state(2).tolist() for s in a]
+        assert states == [s.seed.generate_state(2).tolist() for s in b]
+        assert len({tuple(st) for st in states}) == len(states)
+
+    def test_streams_depend_on_job_and_master_seed(self):
+        base = plan_shards(200, 200, 1, "k")[0].seed.generate_state(2).tolist()
+        other_job = plan_shards(200, 200, 1, "k2")[0].seed.generate_state(2).tolist()
+        other_seed = plan_shards(200, 200, 2, "k")[0].seed.generate_state(2).tolist()
+        assert base != other_job
+        assert base != other_seed
+
+    def test_empty_and_invalid(self):
+        assert plan_shards(0, 100, 1, "k") == []
+        with pytest.raises(ValueError):
+            plan_shards(100, 0, 1, "k")
+
+
+class TestSimulatorDeterminism:
+    def test_same_seed_identical_sample_result(self):
+        circ = ideal_memory_circuit(
+            RepetitionCode(3), rounds=3, noise=UniformNoise(0.02)
+        )
+        a = FrameSimulator(circ, seed=11).sample(400)
+        b = FrameSimulator(circ, seed=11).sample(400)
+        assert np.array_equal(a.measurements, b.measurements)
+        assert np.array_equal(a.detectors, b.detectors)
+        assert np.array_equal(a.observables, b.observables)
+        c = FrameSimulator(circ, seed=12).sample(400)
+        assert not np.array_equal(a.measurements, c.measurements)
+
+    def test_seed_sequence_stream_matches_itself(self):
+        circ = ideal_memory_circuit(
+            RepetitionCode(3), rounds=2, noise=UniformNoise(0.05)
+        )
+        ss = np.random.SeedSequence(42)
+        a = FrameSimulator(circ, seed=np.random.SeedSequence(42)).sample(100)
+        b = FrameSimulator(circ, seed=ss).sample(100)
+        assert np.array_equal(a.detectors, b.detectors)
+
+
+class TestBackendDeterminism:
+    def test_serial_equals_multiprocess(self):
+        # The acceptance grid: 2 distances x 3 noise points.
+        spec = small_spec(gate_improvements=(1.0, 3.0, 5.0))
+        cache = CompilationCache()
+        serial = run_sweep(spec, cache=cache, shard_shots=SHARD)
+        sharded = run_sweep(spec, workers=2, shard_shots=SHARD)
+        assert len(serial) == 6
+        assert [r.failures for r in serial] == [r.failures for r in sharded]
+        assert [r.key for r in serial] == [r.key for r in sharded]
+        # Each of the six unique circuits was compiled exactly once.
+        assert cache.misses == 6 and cache.hits == 0
+
+    def test_worker_count_does_not_change_failures(self):
+        spec = small_spec(distances=(2,))
+        totals = []
+        for workers in (2, 3):
+            with MultiprocessBackend(max_workers=workers) as backend:
+                results = run_sweep(spec, backend=backend, shard_shots=SHARD)
+            totals.append([r.failures for r in results])
+        assert totals[0] == totals[1]
+
+    def test_rerun_is_bit_identical(self):
+        spec = small_spec(distances=(2,))
+        first = run_sweep(spec, shard_shots=SHARD)
+        second = run_sweep(spec, shard_shots=SHARD)
+        assert [r.failures for r in first] == [r.failures for r in second]
+
+
+class TestCompilationCache:
+    def test_each_unique_circuit_compiled_exactly_once(self):
+        # 2 distances x 2 decoders = 4 jobs but only 2 unique circuits.
+        spec = small_spec(decoders=("mwpm", "union_find"))
+        cache = CompilationCache()
+        results = run_sweep(spec, cache=cache, shard_shots=SHARD)
+        assert len(results) == 4
+        assert cache.misses == 2
+        assert cache.hits == 2
+        assert cache.unique_circuits == 2
+
+    def test_disk_cache_skips_dem_extraction(self, tmp_path):
+        spec = small_spec(distances=(2,))
+        first = CompilationCache(cache_dir=str(tmp_path))
+        run_sweep(spec, cache=first, shard_shots=SHARD)
+        assert first.misses == 1
+        assert len(os.listdir(tmp_path)) == 1
+        fresh = CompilationCache(cache_dir=str(tmp_path))
+        results = run_sweep(spec, cache=fresh, shard_shots=SHARD)
+        assert fresh.misses == 0
+        assert fresh.disk_hits == 1
+        assert results[0].failures is not None
+
+    def test_disk_cache_preserves_failure_counts(self, tmp_path):
+        spec = small_spec(distances=(2,))
+        a = run_sweep(spec, cache=CompilationCache(str(tmp_path)), shard_shots=SHARD)
+        b = run_sweep(spec, cache=CompilationCache(str(tmp_path)), shard_shots=SHARD)
+        assert [r.failures for r in a] == [r.failures for r in b]
+
+    def test_corrupt_disk_entry_recompiles(self, tmp_path):
+        spec = small_spec(distances=(2,))
+        run_sweep(spec, cache=CompilationCache(str(tmp_path)), shard_shots=SHARD)
+        [entry] = os.listdir(tmp_path)
+        (tmp_path / entry).write_text("{not json")
+        cache = CompilationCache(str(tmp_path))
+        run_sweep(spec, cache=cache, shard_shots=SHARD)
+        assert cache.misses == 1
+        assert cache.disk_hits == 0
+
+
+class TestResultStoreResume:
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        spec = small_spec()
+        path = str(tmp_path / "results.jsonl")
+        full = run_sweep(spec, results_path=path, shard_shots=SHARD)
+        # Truncate to a partial store: keep the first job, corrupt tail.
+        lines = open(path).read().splitlines()
+        with open(path, "w") as fh:
+            fh.write(lines[0] + "\n")
+            fh.write('{"truncated')  # interrupted mid-write
+        cache = CompilationCache()
+        resumed = run_sweep(
+            spec, results_path=path, cache=cache, shard_shots=SHARD
+        )
+        assert [r.failures for r in resumed] == [r.failures for r in full]
+        assert resumed[0].resumed and not resumed[1].resumed
+        # Only the incomplete job was compiled and sampled again.
+        assert cache.misses == 1
+        # Store is now complete: a third run does no work at all.
+        cache2 = CompilationCache()
+        third = run_sweep(spec, results_path=path, cache=cache2, shard_shots=SHARD)
+        assert all(r.resumed for r in third)
+        assert cache2.misses == 0
+
+    def test_changed_run_config_is_not_resumed(self, tmp_path):
+        # Same job key, different master seed: the stored sample is a
+        # different experiment and must be re-run, not silently reused.
+        path = str(tmp_path / "r.jsonl")
+        spec_a = small_spec(distances=(2,), master_seed=1)
+        spec_b = small_spec(distances=(2,), master_seed=2)
+        assert spec_a.expand()[0].key == spec_b.expand()[0].key
+        [first] = run_sweep(spec_a, results_path=path, shard_shots=SHARD)
+        [second] = run_sweep(spec_b, results_path=path, shard_shots=SHARD)
+        assert not second.resumed
+        assert first.failures != second.failures or first.run_config != second.run_config
+        # Different shard layout also invalidates the stored sample...
+        [third] = run_sweep(spec_b, results_path=path, shard_shots=SHARD // 2)
+        assert not third.resumed
+        # ...while a true re-run resumes: the newest record wins.
+        [fourth] = run_sweep(spec_b, results_path=path, shard_shots=SHARD // 2)
+        assert fourth.resumed
+        assert fourth.failures == third.failures
+
+    def test_store_round_trips_results(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        spec = small_spec(distances=(2,))
+        [result] = run_sweep(spec, store=store, shard_shots=SHARD)
+        loaded = store.load()[result.key]
+        assert isinstance(loaded, JobResult)
+        assert loaded.failures == result.failures
+        assert loaded.job == result.job
+        assert loaded.metrics == json.loads(json.dumps(result.metrics))
+        assert loaded.per_round == result.per_round
+
+    def test_compile_only_jobs(self, tmp_path):
+        spec = small_spec(shots=0)
+        results = run_sweep(spec, results_path=str(tmp_path / "r.jsonl"))
+        assert all(r.failures is None and r.ler is None for r in results)
+        assert all(r.metrics["round_time_us"] > 0 for r in results)
+        resumed = run_sweep(spec, results_path=str(tmp_path / "r.jsonl"))
+        assert all(r.resumed for r in resumed)
+        # Sampling config cannot invalidate a compile-only result.
+        other_seed = small_spec(shots=0, master_seed=99)
+        still = run_sweep(other_seed, results_path=str(tmp_path / "r.jsonl"))
+        assert all(r.resumed for r in still)
+
+
+class TestEstimateSweep:
+    def test_engine_backed_ler_api(self):
+        spec = small_spec(distances=(2,))
+        [result] = estimate_sweep(spec, shard_shots=SHARD)
+        ler = result.ler
+        assert ler.shots == SHOTS
+        assert ler.rounds == 2
+        assert 0.0 < ler.per_shot < 1.0
+        [direct] = run_sweep(spec, shard_shots=SHARD)
+        assert direct.failures == result.failures
+
+
+class TestExplorerSweep:
+    def test_records_match_evaluate_metrics(self):
+        from repro.toolflow import DesignSpaceExplorer
+
+        explorer = DesignSpaceExplorer()
+        spec = small_spec(distances=(3,), shots=0)
+        [record] = explorer.sweep(spec)
+        reference = explorer.evaluate(3, capacity=2, rounds=2)
+        assert record.round_time_us == reference.round_time_us
+        assert record.electrodes == reference.electrodes
+        assert record.num_traps == reference.num_traps
+        assert record.extras["decoder"] == "mwpm"
+
+    def test_code_mismatch_rejected(self):
+        from repro.toolflow import DesignSpaceExplorer
+
+        explorer = DesignSpaceExplorer(code_name="repetition")
+        with pytest.raises(ValueError, match="disagrees"):
+            explorer.sweep(small_spec(distances=(3,), shots=0))

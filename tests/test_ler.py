@@ -29,10 +29,16 @@ class TestLerResult:
         expected = 1 - (1 - p) ** 0.25
         assert r.per_round == pytest.approx(expected)
 
-    def test_stderr(self):
+    def test_stderr_uses_smoothed_denominator(self):
         r = LerResult(shots=400, failures=100, rounds=1)
         p = r.per_shot
-        assert r.stderr_per_shot == pytest.approx(math.sqrt(p * (1 - p) / 400))
+        assert r.stderr_per_shot == pytest.approx(math.sqrt(p * (1 - p) / 401))
+
+    def test_rounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LerResult(shots=100, failures=1, rounds=0)
+        with pytest.raises(ValueError):
+            LerResult(shots=100, failures=1, rounds=-3)
 
 
 class TestEstimator:
