@@ -5,18 +5,22 @@ no-reconfiguration lower bound, and — uniquely — *constant* round time
 irrespective of code distance; higher capacities serialise in-trap
 operations and slow down as the code grows, approaching the
 all-ions-in-one-trap upper bound.
+
+The (capacity x distance) grid runs through the execution engine as
+compile-only :class:`SweepSpec` sweeps (see ``_common.steady_round_times``);
+the analytic lower/upper bounds stay hand-derived.
 """
 
 import pytest
 
 from repro.codes import RotatedSurfaceCode
-from repro.core import single_chain_round_time, steady_round_time
+from repro.core import single_chain_round_time
 from repro.toolflow import format_table
 
-from _common import publish
+from _common import publish, smoke, steady_round_times
 
-CAPACITIES = (2, 3, 5, 12)
-DISTANCES = (3, 5, 7)
+CAPACITIES = (2, 12) if smoke() else (2, 3, 5, 12)
+DISTANCES = (3, 5) if smoke() else (3, 5, 7)
 
 
 def _lower_bound(code) -> float:
@@ -28,13 +32,11 @@ def _lower_bound(code) -> float:
 
 @pytest.fixture(scope="module")
 def capacity_table():
-    table = {}
-    for cap in CAPACITIES:
-        for d in DISTANCES:
-            table[(cap, d)] = steady_round_time(
-                RotatedSurfaceCode(d), trap_capacity=cap, topology="grid"
-            )
-    return table
+    times = steady_round_times("rotated_surface", DISTANCES, CAPACITIES)
+    return {
+        (cap, d): times[(d, cap, "grid")]
+        for cap in CAPACITIES for d in DISTANCES
+    }
 
 
 def test_fig09_report(benchmark, capacity_table):
@@ -44,7 +46,8 @@ def test_fig09_report(benchmark, capacity_table):
             [cap] + [round(capacity_table[(cap, d)], 0) for d in DISTANCES]
         )
     code = RotatedSurfaceCode(DISTANCES[0])
-    rows.append(["lower bound", round(_lower_bound(code), 0), "-", "-"])
+    rows.append(["lower bound", round(_lower_bound(code), 0)]
+                + ["-"] * (len(DISTANCES) - 1))
     rows.append([
         "upper bound (1 trap)",
         *(round(single_chain_round_time(RotatedSurfaceCode(d)), 0)
@@ -53,21 +56,25 @@ def test_fig09_report(benchmark, capacity_table):
     text = benchmark(
         format_table, ["capacity"] + [f"d={d} round us" for d in DISTANCES], rows
     )
+    d_min, d_max = DISTANCES[0], DISTANCES[-1]
     cap2 = [capacity_table[(2, d)] for d in DISTANCES]
     growth2 = max(cap2) / min(cap2)
-    cap12_growth = capacity_table[(12, 7)] / capacity_table[(12, 3)]
+    cap12_growth = capacity_table[(12, d_max)] / capacity_table[(12, d_min)]
     text += (
         f"\n\npaper: capacity 2 constant in d and lowest at scale; larger"
         f" capacities grow with d"
-        f"\nmeasured: capacity-2 spread {growth2:.2f}x across d=3..7;"
-        f" capacity-12 grows {cap12_growth:.2f}x; at d=7 capacity 2 is"
-        f" {capacity_table[(12, 7)] / capacity_table[(2, 7)]:.1f}x faster"
+        f"\nmeasured: capacity-2 spread {growth2:.2f}x across d={d_min}"
+        f"..{d_max}; capacity-12 grows {cap12_growth:.2f}x; at d={d_max}"
+        f" capacity 2 is"
+        f" {capacity_table[(12, d_max)] / capacity_table[(2, d_max)]:.1f}x faster"
         f" than capacity 12"
     )
     publish("fig09_capacity_round_time", text)
+    assert capacity_table[(2, d_max)] < capacity_table[(12, d_max)]
+    if smoke():
+        return  # trend thresholds need the full d=3..7 grid
     assert growth2 < 1.6
     assert cap12_growth > 1.8
-    assert capacity_table[(2, 7)] < capacity_table[(12, 7)]
     assert capacity_table[(2, 7)] < capacity_table[(5, 7)]
 
 
@@ -80,6 +87,8 @@ def test_fig09_upper_bound_dominates(benchmark, capacity_table):
 
 
 def test_bench_round_time_capacity12(benchmark):
+    from repro.core import steady_round_time
+
     benchmark(
         steady_round_time, RotatedSurfaceCode(3), 12, "grid"
     )

@@ -5,6 +5,12 @@ Paper claims: under standard wiring at a 5x gate improvement, capacity
 need more junctions per qubit, larger traps need much bigger code
 distances for the same logical error rate, which dominates the
 electrode bill.
+
+Each capacity's suppression fit is one engine sweep over the distance
+axis (``_common.ler_projection`` builds the :class:`SweepSpec`); the
+electrode counts at the projected target distances stay a placement /
+resource-model lookup — those distances (up to d~49) are far beyond
+what a full compile can reach.
 """
 
 import pytest
@@ -12,10 +18,10 @@ import pytest
 from repro.arch import standard_resources
 from repro.toolflow import format_table
 
-from _common import capacity_projection, device_for_distance, publish
+from _common import capacity_projection, device_for_distance, publish, smoke
 
 TARGETS = (1e-6, 1e-9)
-CAPACITIES = (2, 5, 12)
+CAPACITIES = (2, 5) if smoke() else (2, 5, 12)
 
 
 @pytest.fixture(scope="module")
@@ -54,6 +60,8 @@ def test_fig11_report(benchmark, electrode_table):
         " across capacities"
     )
     publish("fig11_electrodes", text)
+    if smoke():
+        return  # comparison thresholds need the full-shot projections
     # Capacity 2 must reach both targets and do so at least as cheaply
     # as any larger capacity that reaches them.
     for target in TARGETS:

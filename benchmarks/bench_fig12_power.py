@@ -4,6 +4,10 @@ Paper claims: even at the optimal capacity-2 design point, one logical
 qubit at 1e-9 needs roughly a 1.3 Tbit/s controller link and ~780 W of
 DAC power under standard wiring — the scaling wall motivating wiring
 co-design.
+
+Each capacity's suppression fit is one engine sweep over the distance
+axis (``_common.ler_projection``); data-rate / power at the projected
+target distance stay a placement / resource-model lookup.
 """
 
 import pytest
@@ -11,9 +15,9 @@ import pytest
 from repro.arch import standard_resources
 from repro.toolflow import format_table
 
-from _common import capacity_projection, device_for_distance, publish
+from _common import capacity_projection, device_for_distance, publish, smoke
 
-CAPACITIES = (2, 5, 12)
+CAPACITIES = (2, 5) if smoke() else (2, 5, 12)
 TARGET = 1e-9
 
 
@@ -57,6 +61,8 @@ def test_fig12_report(benchmark, power_rows):
         "\nmeasured: see capacity-2 row"
     )
     publish("fig12_power", text)
+    if smoke():
+        return  # scaling-wall thresholds need the full-shot projections
     cap2 = next(r for r in power_rows if r["cap"] == 2)
     assert cap2["d"] is not None
     # Order of magnitude of the paper's wall: hundreds of Gbit/s to a

@@ -1,6 +1,23 @@
-"""Benchmark harness configuration: make _common importable."""
+"""Benchmark harness configuration: make _common importable, --smoke mode."""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="CI smoke mode: shrunken benchmark grids, trend assertions "
+             "that need the full grid are skipped",
+    )
+
+
+def pytest_configure(config):
+    # Propagated through the environment so _common (and its worker
+    # processes) see the flag regardless of import order.
+    if config.getoption("--smoke"):
+        os.environ["REPRO_BENCH_SMOKE"] = "1"

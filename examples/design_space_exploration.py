@@ -97,8 +97,36 @@ def ler_study(workers: int = 2) -> None:
           f"   {workers} worker processes with seed-stable streams.")
 
 
+def adaptive_study() -> None:
+    print("\n== Adaptive shot allocation ==")
+    from repro.engine import run_sweep
+
+    # d=2 fails often (converges in a few shards); d=3 is an order of
+    # magnitude quieter.  With a failure target, the scheduler retires
+    # the noisy point early and reinvests the budget in the quiet one.
+    spec = SweepSpec(
+        distances=(2, 3),
+        rounds=2,
+        shots=512,
+        target_failures=50,
+        max_shots=16384,
+        master_seed=2026,
+    )
+    rows = []
+    for result in run_sweep(spec, shard_shots=512):
+        info = result.extras["adaptive"]
+        rows.append([
+            result.job.distance, result.shots, result.failures,
+            "yes" if info["converged"] else "no (budget cap)",
+        ])
+    print(format_table(["d", "shots spent", "failures", "converged"], rows))
+    print("-> equal failure targets, unequal budgets: sampling effort\n"
+          "   flows to where the statistics are still poor.")
+
+
 if __name__ == "__main__":
     topology_study()
     capacity_study()
     hardware_study()
     ler_study()
+    adaptive_study()

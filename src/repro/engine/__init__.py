@@ -37,7 +37,9 @@ from .runner import (
     compile_design_point,
     plan_shards,
     run_sweep,
+    sample_adaptive,
 )
+from .scheduler import JobState, ShardOutcome, ShardTask, StreamScheduler
 from .sweep import SweepJob, SweepSpec
 
 __all__ = [
@@ -48,6 +50,7 @@ __all__ = [
     "circuit_key",
     "Runner",
     "run_sweep",
+    "sample_adaptive",
     "SerialBackend",
     "MultiprocessBackend",
     "Shard",
@@ -57,4 +60,8 @@ __all__ = [
     "JobResult",
     "ResultStore",
     "ProgressReporter",
+    "StreamScheduler",
+    "JobState",
+    "ShardTask",
+    "ShardOutcome",
 ]

@@ -37,9 +37,17 @@ class ProgressReporter:
         self.skipped += 1
         self._emit(f"[{self.done}/{self.total}] skip (resumed) {key}")
 
-    def job_done(self, key: str, failures: int | None, elapsed_s: float) -> None:
+    def job_done(
+        self,
+        key: str,
+        failures: int | None,
+        elapsed_s: float,
+        shots: int | None = None,
+    ) -> None:
         self.done += 1
         tally = "compile-only" if failures is None else f"failures={failures}"
+        if shots is not None and failures is not None:
+            tally += f"/{shots} shots"
         self._emit(f"[{self.done}/{self.total}] done {key} {tally} ({elapsed_s:.1f}s)")
 
     def finish(self, cache_stats: dict | None = None) -> None:
@@ -49,9 +57,12 @@ class ProgressReporter:
             f"{self.skipped} resumed, {elapsed:.1f}s"
         )
         if cache_stats:
+            # Partial stats dicts (custom caches, older stores) must
+            # not crash the end-of-sweep summary.
             line += (
-                f" | cache: {cache_stats['misses']} compiled, "
-                f"{cache_stats['hits']} hits, {cache_stats['disk_hits']} disk hits"
+                f" | cache: {cache_stats.get('misses', 0)} compiled, "
+                f"{cache_stats.get('hits', 0)} hits, "
+                f"{cache_stats.get('disk_hits', 0)} disk hits"
             )
         self._emit(line)
 

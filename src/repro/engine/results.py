@@ -91,12 +91,29 @@ class JobResult:
 
 
 class ResultStore:
-    """Append-only JSONL store of :class:`JobResult` records."""
+    """Append-only JSONL store of :class:`JobResult` records.
+
+    Loads are memoized against the file's stat signature: polling
+    ``len(store)`` / ``completed_keys()`` during a sweep costs one
+    ``stat`` instead of re-parsing the whole JSONL (O(n²) over a sweep
+    otherwise).  ``append`` keeps the memo coherent; a write by
+    another process changes the signature and forces a re-read.
+    """
 
     def __init__(self, path: str):
         self.path = path
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
+        self._cache: dict[str, JobResult] | None = None
+        self._signature: tuple[int, int] | None = None
+        self.file_reads = 0  # parse passes over the file (for tests)
+
+    def _stat_signature(self) -> tuple[int, int] | None:
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
 
     def load(self) -> dict[str, JobResult]:
         """All stored results by job key; silently drops corrupt lines.
@@ -104,21 +121,26 @@ class ResultStore:
         Later lines win, so a job re-sampled under a new run
         configuration supersedes the stale record.
         """
+        signature = self._stat_signature()
+        if self._cache is not None and signature == self._signature:
+            return dict(self._cache)
         results: dict[str, JobResult] = {}
-        if not os.path.exists(self.path):
-            return results
-        with open(self.path) as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                    result = JobResult.from_jsonable(data)
-                except (ValueError, KeyError, TypeError):
-                    continue  # truncated / corrupt line from an interrupted run
-                results[result.key] = result
-        return results
+        if signature is not None:
+            self.file_reads += 1
+            with open(self.path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                        result = JobResult.from_jsonable(data)
+                    except (ValueError, KeyError, TypeError):
+                        continue  # truncated / corrupt line from an interrupted run
+                    results[result.key] = result
+        self._cache = results
+        self._signature = signature
+        return dict(results)
 
     def completed_keys(self) -> set[str]:
         return set(self.load())
@@ -127,17 +149,38 @@ class ResultStore:
         # A run killed mid-write can leave a truncated final line with
         # no newline; appending straight after it would corrupt this
         # record too, so repair the separator first.
+        pre_signature = self._stat_signature()
+        fresh = self._cache is not None and pre_signature == self._signature
         needs_newline = False
         if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
             with open(self.path, "rb") as fh:
                 fh.seek(-1, os.SEEK_END)
                 needs_newline = fh.read(1) != b"\n"
+        payload = json.dumps(result.to_jsonable()) + "\n"
+        if needs_newline:
+            payload = "\n" + payload
         with open(self.path, "a") as fh:
-            if needs_newline:
-                fh.write("\n")
-            fh.write(json.dumps(result.to_jsonable()) + "\n")
+            fh.write(payload)
             fh.flush()
             os.fsync(fh.fileno())
+        post_signature = self._stat_signature()
+        expected_size = (pre_signature[1] if pre_signature else 0) + len(
+            payload.encode()
+        )
+        if fresh and post_signature is not None and post_signature[1] == expected_size:
+            # The memo matched the file before our write and the file
+            # grew by exactly our payload (no interleaved writer), so
+            # extending it keeps the two coherent without a re-parse.
+            # Round-trip the record so the memo is indistinguishable
+            # from a disk read (``resumed`` flag, JSON-normalised
+            # values).
+            self._cache[result.key] = JobResult.from_jsonable(result.to_jsonable())
+            self._signature = post_signature
+        else:
+            # Another process may have written concurrently: drop the
+            # memo so the next load re-reads the merged file.
+            self._cache = None
+            self._signature = None
 
     def __len__(self) -> int:
         return len(self.load())

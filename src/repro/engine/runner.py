@@ -2,18 +2,25 @@
 
 The runner walks a :class:`~repro.engine.sweep.SweepSpec`'s job list,
 compiles each unique circuit exactly once through the
-:class:`~repro.engine.cache.CompilationCache`, and hands the
-Monte-Carlo sampling to a pluggable backend:
+:class:`~repro.engine.cache.CompilationCache`, and streams the
+Monte-Carlo sampling through the cross-job shard scheduler
+(:mod:`repro.engine.scheduler`) over a pluggable backend:
 
 - :class:`SerialBackend` runs every shot shard in-process;
-- :class:`MultiprocessBackend` fans shards out over a worker pool.
+- :class:`MultiprocessBackend` fans shards out over worker processes
+  with per-worker task queues, priming each worker at most once per
+  unique circuit — shard messages carry only ``(circuit key, decoder,
+  shots, seed)``, never the circuit text or the DEM payload.
 
 Both consume the *same* shard plan: a job's shots are split into
 fixed-size shards, and shard ``i`` samples from an independent RNG
 stream spawned via ``np.random.SeedSequence`` from the sweep's master
-seed and the job key.  Failure totals are therefore bit-identical
-across backends and across worker counts — parallelism changes only
-where a shard runs, never what it samples.
+seed and the job key.  Fixed-shot failure totals are therefore
+bit-identical across backends and across worker counts — parallelism
+changes only where a shard runs, never what it samples.  Adaptive jobs
+(``target_failures`` set) trade that equivalence for early stopping:
+the scheduler retires them at their failure target and reinvests the
+freed capacity in unconverged design points.
 """
 
 from __future__ import annotations
@@ -22,8 +29,10 @@ import hashlib
 import math
 import multiprocessing
 import os
+import queue as queue_module
 import signal
 import time
+import traceback
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,6 +50,7 @@ from ..sim.text_format import circuit_from_text
 from .cache import CompilationCache, CompiledCircuit, dem_from_jsonable, dem_to_jsonable
 from .progress import make_progress
 from .results import JobResult, ResultStore
+from .scheduler import JobState, ShardOutcome, ShardTask, StreamScheduler
 from .sweep import SweepJob, SweepSpec
 
 DEFAULT_SHARD_SHOTS = 2048
@@ -95,22 +105,64 @@ def sample_shard(
 
 
 # ----------------------------------------------------------------------
-# Execution backends
+# Execution backends (streaming interface: capacity / submit / poll / wait)
 # ----------------------------------------------------------------------
+def abort_backend(backend, owned: bool) -> None:
+    """Abort-path cleanup shared by every sweep entry point.
+
+    An owned backend dies with the sweep (hard ``terminate`` — a
+    graceful close would wait for every queued shard).  A caller-owned
+    backend stays alive but must disown its in-flight shards, or a
+    later sweep sharing it could absorb this sweep's abandoned
+    results.
+    """
+    if owned:
+        backend.terminate()
+        return
+    abandon = getattr(backend, "abandon_pending", None)
+    if abandon is not None:
+        abandon()
+
+
 class SerialBackend:
-    """Runs every shard in-process, reusing the parent's cache."""
+    """Runs every shard in-process, reusing the parent's cache.
+
+    ``submit`` executes the shard synchronously and buffers the
+    outcome, so the scheduler's stream drains eagerly — serial adaptive
+    sampling is exactly "one shard at a time until converged".
+    """
 
     name = "serial"
+    capacity = 1
 
-    def run_job(
-        self,
-        job: SweepJob,
-        compiled: CompiledCircuit,
-        shards: list[Shard],
-        cache: CompilationCache,
-    ) -> int:
-        decoder = cache.decoder(compiled, job.decoder)
-        return sum(sample_shard(compiled.circuit, decoder, s) for s in shards)
+    def __init__(self):
+        self._outcomes: list[ShardOutcome] = []
+
+    def submit(
+        self, task: ShardTask, compiled: CompiledCircuit, cache: CompilationCache
+    ) -> None:
+        t0 = time.perf_counter()
+        decoder = cache.decoder(compiled, task.decoder)
+        failures = sample_shard(
+            compiled.circuit, decoder, Shard(task.shard_index, task.shots, task.seed)
+        )
+        self._outcomes.append(
+            ShardOutcome(
+                task.seq, task.job_key, task.shots, failures,
+                time.perf_counter() - t0,
+            )
+        )
+
+    def poll(self) -> list[ShardOutcome]:
+        out, self._outcomes = self._outcomes, []
+        return out
+
+    def wait(self) -> list[ShardOutcome]:
+        return self.poll()
+
+    def abandon_pending(self) -> None:
+        """Drop buffered outcomes from an aborted sweep."""
+        self._outcomes = []
 
     def close(self) -> None:
         pass
@@ -119,89 +171,263 @@ class SerialBackend:
         pass
 
 
-# Per-worker-process memo: each worker parses / builds a circuit's
-# artefacts at most once, however many shards of it it draws.
-_WORKER_CIRCUITS: dict = {}
-_WORKER_DECODERS: dict = {}
+def _worker_main(task_queue, result_queue) -> None:
+    """Worker-process loop: prime once per circuit, then sample shards.
 
-
-def _init_worker() -> None:
-    # Ctrl-C is the parent's business: a SIGINT delivered to the whole
-    # foreground group must not kill workers mid-task, or the pool
-    # teardown deadlocks.  The parent terminates the pool instead.
+    Ctrl-C is the parent's business: a SIGINT delivered to the whole
+    foreground group must not kill workers mid-task — the parent
+    decides when to terminate them.
+    """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-
-
-def _run_shard_payload(payload) -> int:
-    """Worker-side shard execution (must stay module-level picklable)."""
-    key, circuit_text, dem_data, decoder_name, shots, seed = payload
-    entry = _WORKER_CIRCUITS.get(key)
-    if entry is None:
-        circuit = circuit_from_text(circuit_text)
-        graph = DetectorGraph.from_dem(dem_from_jsonable(dem_data))
-        entry = (circuit, graph)
-        _WORKER_CIRCUITS[key] = entry
-    circuit, graph = entry
-    decoder = _WORKER_DECODERS.get((key, decoder_name))
-    if decoder is None:
-        decoder = make_decoder(graph, decoder_name)
-        _WORKER_DECODERS[(key, decoder_name)] = decoder
-    return sample_shard(circuit, decoder, Shard(index=0, shots=shots, seed=seed))
+    circuits: dict[str, tuple] = {}
+    decoders: dict[tuple[str, str], object] = {}
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "prime":
+            _, circuit_key, circuit_text, dem_data, epoch = message
+            try:
+                circuit = circuit_from_text(circuit_text)
+                graph = DetectorGraph.from_dem(dem_from_jsonable(dem_data))
+                circuits[circuit_key] = (circuit, graph)
+            except BaseException:
+                result_queue.put(
+                    ("error", None, traceback.format_exc(), 0.0, epoch)
+                )
+            continue
+        _, seq, circuit_key, decoder_name, shots, seed, epoch = message
+        try:
+            t0 = time.perf_counter()
+            entry = circuits.get(circuit_key)
+            if entry is None:
+                raise RuntimeError(
+                    f"shard for unprimed circuit {circuit_key[:12]}…: "
+                    "priming protocol violated"
+                )
+            circuit, graph = entry
+            decoder = decoders.get((circuit_key, decoder_name))
+            if decoder is None:
+                decoder = make_decoder(graph, decoder_name)
+                decoders[(circuit_key, decoder_name)] = decoder
+            failures = sample_shard(circuit, decoder, Shard(0, shots, seed))
+            result_queue.put(
+                ("ok", seq, failures, time.perf_counter() - t0, epoch)
+            )
+        except BaseException:
+            result_queue.put(("error", seq, traceback.format_exc(), 0.0, epoch))
 
 
 class MultiprocessBackend:
-    """Fans shot shards out over a ``multiprocessing`` pool.
+    """Fans shot shards out over worker processes with per-worker queues.
 
-    The parent compiles once; workers receive the circuit text plus the
-    already-extracted DEM (as JSON-safe data), so no worker ever redoes
-    DEM extraction — they only rebuild the cheap detector graph, once
-    per process per unique circuit.
+    Unlike a ``Pool``, the parent controls exactly which worker runs
+    which shard, so it can *prime* each worker with a circuit's text
+    and DEM payload at most once (``prime`` message) and afterwards
+    send only tiny ``(key, decoder, shots, seed)`` shard messages.
+    Results stream back over a shared queue that the parent polls with
+    an interruptible timed wait — SIGINT reaches the parent promptly
+    instead of languishing behind a blocking ``pool.map``.
     """
 
     name = "multiprocess"
 
-    def __init__(self, max_workers: int | None = None, start_method: str | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        queue_depth: int = 2,
+    ):
         self.max_workers = max_workers if max_workers else (os.cpu_count() or 2)
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        self.queue_depth = queue_depth
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
-        self._pool = None
+        self._procs: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._load: list[int] = []
+        self._primed: set[tuple[int, str]] = set()
+        self._dem_json: dict[str, dict] = {}
+        # task seq -> (worker index, job key, shots)
+        self._dispatch: dict[int, tuple[int, str, int]] = {}
+        # Bumped by abandon_pending(): results echo the epoch they were
+        # submitted under, so shards of an aborted sweep can never be
+        # attributed to a later sweep sharing this backend.
+        self._epoch = 0
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            self._pool = self._ctx.Pool(
-                processes=self.max_workers, initializer=_init_worker
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Tasks the backend wants in flight: a small per-worker queue
+        keeps workers busy without hoarding shards an adaptive job may
+        never need."""
+        return self.max_workers * self.queue_depth
+
+    def _ensure_workers(self) -> None:
+        if self._procs:
+            return
+        self._result_queue = self._ctx.Queue()
+        for _ in range(self.max_workers):
+            task_queue = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(task_queue, self._result_queue),
+                daemon=True,
             )
-        return self._pool
+            proc.start()
+            self._procs.append(proc)
+            self._task_queues.append(task_queue)
+            self._load.append(0)
 
-    def run_job(
-        self,
-        job: SweepJob,
-        compiled: CompiledCircuit,
-        shards: list[Shard],
-        cache: CompilationCache,
-    ) -> int:
-        dem_data = dem_to_jsonable(compiled.dem)
-        payloads = [
-            (compiled.key, compiled.text, dem_data, job.decoder, s.shots, s.seed)
-            for s in shards
-        ]
-        pool = self._ensure_pool()
-        return sum(pool.map(_run_shard_payload, payloads))
+    def _send(self, worker: int, message: tuple) -> None:
+        """Single dispatch point for worker messages (tests hook this
+        to count priming traffic)."""
+        self._task_queues[worker].put(message)
 
+    # ------------------------------------------------------------------
+    def submit(
+        self, task: ShardTask, compiled: CompiledCircuit, cache: CompilationCache
+    ) -> None:
+        self._ensure_workers()
+        worker = self._pick_worker(task.circuit_key)
+        if (worker, task.circuit_key) not in self._primed:
+            dem_data = self._dem_json.get(task.circuit_key)
+            if dem_data is None:
+                dem_data = dem_to_jsonable(compiled.dem)
+                self._dem_json[task.circuit_key] = dem_data
+            self._send(
+                worker,
+                ("prime", task.circuit_key, compiled.text, dem_data, self._epoch),
+            )
+            self._primed.add((worker, task.circuit_key))
+            if all(
+                (w, task.circuit_key) in self._primed
+                for w in range(len(self._procs))
+            ):
+                # Every worker holds this circuit now; the serialized
+                # DEM can never be sent again, so stop retaining it.
+                self._dem_json.pop(task.circuit_key, None)
+        self._send(
+            worker,
+            ("shard", task.seq, task.circuit_key, task.decoder, task.shots,
+             task.seed, self._epoch),
+        )
+        self._load[worker] += 1
+        self._dispatch[task.seq] = (worker, task.job_key, task.shots)
+
+    def _pick_worker(self, circuit_key: str) -> int:
+        """Least-loaded worker; among ties, prefer one already primed
+        for this circuit so priming traffic stays minimal."""
+        best = 0
+        best_rank = None
+        for worker in range(len(self._procs)):
+            primed = (worker, circuit_key) in self._primed
+            rank = (self._load[worker], not primed)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = worker, rank
+        return best
+
+    def poll(self) -> list[ShardOutcome]:
+        outcomes = []
+        if self._result_queue is None:
+            return outcomes
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except queue_module.Empty:
+                return outcomes
+            outcome = self._handle(message)
+            if outcome is not None:
+                outcomes.append(outcome)
+
+    def wait(self, poll_interval: float = 0.2) -> list[ShardOutcome]:
+        """Block until at least one shard finishes.
+
+        The timed ``get`` keeps the parent interruptible: a SIGINT
+        lands between polls instead of hanging until a whole job's
+        ``map`` returns.
+        """
+        while True:
+            try:
+                message = self._result_queue.get(timeout=poll_interval)
+            except queue_module.Empty:
+                self._check_alive()
+                continue
+            outcome = self._handle(message)
+            if outcome is None:
+                continue  # stale epoch: keep waiting for live work
+            return [outcome] + self.poll()
+
+    def _handle(self, message) -> ShardOutcome | None:
+        kind, seq, value, elapsed_s, epoch = message
+        if epoch != self._epoch:
+            return None  # shard of an abandoned sweep: silently drop
+        dispatched = self._dispatch.pop(seq, None)
+        if dispatched is not None:
+            worker, job_key, shots = dispatched
+            self._load[worker] -= 1
+        if kind == "error":
+            raise RuntimeError(f"worker shard failed:\n{value}")
+        if dispatched is None:
+            raise RuntimeError(f"result for unknown shard task {seq}")
+        return ShardOutcome(seq, job_key, shots, int(value), float(elapsed_s))
+
+    def abandon_pending(self) -> None:
+        """Disown every in-flight shard (aborted-sweep recovery).
+
+        Workers will still finish the abandoned shards, but their
+        results arrive tagged with the old epoch and are dropped — a
+        later sweep sharing this backend can never absorb them.
+        """
+        self._epoch += 1
+        for worker, _job_key, _shots in self._dispatch.values():
+            self._load[worker] -= 1
+        self._dispatch.clear()
+
+    def _check_alive(self) -> None:
+        dead = [p for p in self._procs if not p.is_alive()]
+        if dead and self._dispatch:
+            raise RuntimeError(
+                f"{len(dead)} worker process(es) died with "
+                f"{len(self._dispatch)} shard(s) in flight"
+            )
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        """Graceful shutdown: let queued work finish, stop workers."""
+        if not self._procs:
+            return
+        for worker in range(len(self._procs)):
+            self._send(worker, ("stop",))
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        self._reset()
 
     def terminate(self) -> None:
         """Hard shutdown: abandon in-flight shards (interrupt path)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join()
+        self._reset()
+
+    def _reset(self) -> None:
+        self._procs = []
+        self._task_queues = []
+        self._result_queue = None
+        self._load = []
+        self._primed = set()
+        self._dem_json = {}
+        self._dispatch = {}
 
     def __enter__(self):
         return self
@@ -290,7 +516,7 @@ def compile_design_point(
 # Runner
 # ----------------------------------------------------------------------
 class Runner:
-    """Executes a sweep: compile (cached), sample (sharded), persist."""
+    """Executes a sweep: compile (cached), sample (streamed), persist."""
 
     def __init__(
         self,
@@ -335,69 +561,136 @@ class Runner:
     # ------------------------------------------------------------------
     def run(self) -> list[JobResult]:
         jobs = self.spec.expand()
-        self.progress.start(len(jobs))
+        # A degenerate grid (repeated axis values) expands to duplicate
+        # keys; each unique job runs and reports exactly once.
+        self.progress.start(len({job.key for job in jobs}))
         completed = self.store.load() if self.store is not None else {}
-        results: list[JobResult] = []
+        results: dict[str, JobResult] = {}
+        scheduler = StreamScheduler(self.backend, self.cache)
         try:
             for job in jobs:
+                if job.key in results or scheduler.has(job.key):
+                    continue  # degenerate grid with repeated axis values
                 prior = completed.get(job.key)
                 if prior is not None and self._reusable(job, prior):
-                    results.append(prior)
+                    results[job.key] = prior
                     self.progress.job_skipped(job.key)
                     continue
                 # Missing, or sampled under a different seed / shard
                 # layout / noise model: re-run (the fresh record
                 # supersedes the stale one on the next load).
-                results.append(self._run_job(job))
+                t0 = time.perf_counter()
+                artifacts = self._artifacts_for(job)
+                if job.shots <= 0:
+                    results[job.key] = self._finalize(
+                        job, artifacts, time.perf_counter() - t0, None, None
+                    )
+                    continue
+                compiled = self.cache.compiled(artifacts.circuit, artifacts.text)
+                setup_s = time.perf_counter() - t0
+                for state in scheduler.add(
+                    self._state_for(job, artifacts, compiled, setup_s)
+                ):
+                    self._finalize_state(state, results)
+            for state in scheduler.drain():
+                self._finalize_state(state, results)
         except BaseException:
-            # Interrupt / failure mid-sweep: a graceful close() would
-            # wait for every queued shard, so tear the pool down hard.
-            # Completed jobs are already in the store for resume.
-            if self._own_backend:
-                self.backend.terminate()
+            # Interrupt / failure mid-sweep.  Completed jobs are
+            # already in the store for resume.
+            abort_backend(self.backend, self._own_backend)
             raise
         else:
             if self._own_backend:
                 self.backend.close()
         self.progress.finish(self.cache.stats())
-        return results
+        return [results[job.key] for job in jobs]
+
+    # ------------------------------------------------------------------
+    def _state_for(
+        self, job: SweepJob, artifacts: JobArtifacts, compiled, setup_s: float
+    ) -> JobState:
+        # Adaptive jobs never shard coarser than their initial tranche:
+        # the shard size is the granularity at which early stopping can
+        # act, so a tranche must be at least one whole shard.
+        shard_shots = (
+            min(self.shard_shots, job.shots) if job.adaptive else self.shard_shots
+        )
+        plan = plan_shards(
+            job.shot_cap, shard_shots, self.spec.master_seed, job.key
+        )
+        tranche = math.ceil(job.shots / shard_shots)
+        return JobState(
+            key=job.key,
+            compiled=compiled,
+            decoder=job.decoder,
+            plan=plan,
+            target_failures=job.target_failures,
+            tranche_shards=tranche,
+            payload=(job, artifacts, setup_s),
+        )
+
+    def _finalize_state(self, state: JobState, results: dict) -> None:
+        job, artifacts, setup_s = state.payload
+        extras = dict(artifacts.extras)
+        if job.adaptive:
+            extras["adaptive"] = {
+                "target_failures": job.target_failures,
+                "max_shots": job.max_shots,
+                "initial_shots": job.shots,
+                "converged": state.converged,
+            }
+        # Compile time plus the job's own sampling time across all
+        # workers — exclusive of time its shards sat queued behind
+        # other jobs, which streaming would otherwise smear into every
+        # concurrently-running job's wall clock.
+        results[job.key] = self._finalize(
+            job, artifacts, setup_s + state.work_s,
+            state.shots_done, state.failures, extras,
+        )
+
+    def _finalize(
+        self,
+        job: SweepJob,
+        artifacts: JobArtifacts,
+        elapsed_s: float,
+        shots: int | None,
+        failures: int | None,
+        extras: dict | None = None,
+    ) -> JobResult:
+        result = JobResult(
+            job=job,
+            shots=job.shots if shots is None else shots,
+            failures=failures,
+            rounds=job.rounds,
+            metrics=dict(artifacts.metrics),
+            extras=dict(artifacts.extras) if extras is None else extras,
+            elapsed_s=elapsed_s,
+            run_config=dict(self.run_config),
+        )
+        if self.store is not None:
+            self.store.append(result)
+        self.progress.job_done(
+            job.key, failures, result.elapsed_s,
+            shots=None if failures is None else result.shots,
+        )
+        return result
 
     # ------------------------------------------------------------------
     def _reusable(self, job: SweepJob, prior: JobResult) -> bool:
         """Whether a stored result is the same experiment as this run.
 
-        Compile-only jobs never sampled anything, so the sampling
-        configuration (seed, shard layout, noise) cannot invalidate
-        them.
+        Records resumed from older or corrupt store lines can carry an
+        empty ``metrics`` dict (``from_jsonable``'s default); reusing
+        one would permanently poison every record rebuilt from it, so
+        reuse requires real compiler metrics.  Compile-only jobs never
+        sampled anything, so the sampling configuration (seed, shard
+        layout, noise) cannot invalidate them.
         """
+        if not prior.metrics:
+            return False
         if job.shots == 0:
             return True
         return prior.run_config == self.run_config
-
-    def _run_job(self, job: SweepJob) -> JobResult:
-        t0 = time.perf_counter()
-        artifacts = self._artifacts_for(job)
-        failures: int | None = None
-        if job.shots > 0:
-            compiled = self.cache.compiled(artifacts.circuit, artifacts.text)
-            shards = plan_shards(
-                job.shots, self.shard_shots, self.spec.master_seed, job.key
-            )
-            failures = self.backend.run_job(job, compiled, shards, self.cache)
-        result = JobResult(
-            job=job,
-            shots=job.shots,
-            failures=failures,
-            rounds=job.rounds,
-            metrics=dict(artifacts.metrics),
-            extras=dict(artifacts.extras),
-            elapsed_s=time.perf_counter() - t0,
-            run_config=dict(self.run_config),
-        )
-        if self.store is not None:
-            self.store.append(result)
-        self.progress.job_done(job.key, failures, result.elapsed_s)
-        return result
 
     def _artifacts_for(self, job: SweepJob) -> JobArtifacts:
         params = job.circuit_params
@@ -412,3 +705,59 @@ class Runner:
 def run_sweep(spec: SweepSpec, **kwargs) -> list[JobResult]:
     """One-call sweep execution; see :class:`Runner` for options."""
     return Runner(spec, **kwargs).run()
+
+
+# ----------------------------------------------------------------------
+# Ad-hoc adaptive sampling (the engine face of estimate_until_failures)
+# ----------------------------------------------------------------------
+def sample_adaptive(
+    circuit: StabilizerCircuit,
+    *,
+    decoder: str = "mwpm",
+    target_failures: int = 20,
+    max_shots: int = 10 ** 6,
+    shard_shots: int = 5000,
+    seed: int | None = None,
+    backend=None,
+    cache: CompilationCache | None = None,
+) -> tuple[int, int]:
+    """Sample ``circuit`` until ``target_failures`` failures or the
+    ``max_shots`` budget, whichever comes first.
+
+    Runs the same scheduler / shard plan machinery as a sweep job, so
+    results are deterministic for a given ``seed`` and the sampling can
+    be fanned out over a :class:`MultiprocessBackend`.  Returns
+    ``(shots, failures)``.
+    """
+    if target_failures < 1:
+        raise ValueError("target_failures must be positive")
+    if shard_shots < 1 or max_shots < shard_shots:
+        raise ValueError("need max_shots >= shard_shots >= 1")
+    cache = cache if cache is not None else CompilationCache()
+    compiled = cache.compiled(circuit)
+    if seed is None:
+        seed = int(np.random.SeedSequence().entropy) & 0xFFFFFFFF
+    own_backend = backend is None
+    backend = backend if backend is not None else SerialBackend()
+    plan = plan_shards(max_shots, shard_shots, seed, compiled.key)
+    state = JobState(
+        key=compiled.key,
+        compiled=compiled,
+        decoder=decoder,
+        plan=plan,
+        target_failures=target_failures,
+        tranche_shards=len(plan),
+    )
+    scheduler = StreamScheduler(backend, cache)
+    try:
+        done = scheduler.add(state)
+        if not done:
+            done = list(scheduler.drain())
+    except BaseException:
+        abort_backend(backend, own_backend)
+        raise
+    else:
+        if own_backend:
+            backend.close()
+    [state] = done
+    return state.shots_done, state.failures

@@ -1,0 +1,277 @@
+"""Cross-job streaming shard scheduler with adaptive shot allocation.
+
+The scheduler is the engine's execution core: it turns a set of
+:class:`JobState` machines (one per sampled sweep job) into a stream
+of :class:`ShardTask` submissions against a backend, absorbing
+:class:`ShardOutcome` results as they arrive.  Three properties fall
+out of the design:
+
+- **streaming** — shards of *different* jobs are in flight at the same
+  time, so a worker pool never drains between jobs and the parent can
+  keep compiling the next design point while workers sample the
+  previous one;
+- **adaptive allocation** — a job with ``target_failures`` set retires
+  as soon as it has observed that many failures; the worker slots it
+  frees are immediately refilled with shards of unconverged jobs (up
+  to each job's ``max_shots``), which is where the reinvested budget
+  goes;
+- **fixed-shot determinism** — a job without a failure target always
+  runs its *entire* shard plan, and failure counts are summed over the
+  full plan, so totals are bit-identical across backends, worker
+  counts and scheduling order (integer addition commutes).
+
+Backends expose a small streaming interface:
+
+- ``capacity`` — how many tasks the backend wants in flight;
+- ``submit(task, compiled, cache)`` — dispatch one shard;
+- ``poll()`` — non-blocking drain of finished shards;
+- ``wait()`` — block (interruptibly) until at least one shard finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard submission: everything a worker needs, and nothing more.
+
+    Deliberately carries no circuit text and no DEM payload — those are
+    shipped to each worker at most once per unique circuit by the
+    backend's priming protocol, keyed by ``circuit_key``.
+    """
+
+    seq: int
+    job_key: str
+    circuit_key: str
+    decoder: str
+    shots: int
+    seed: np.random.SeedSequence
+    shard_index: int
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One finished shard's failure tally.
+
+    ``elapsed_s`` is the shard's own sampling time on whichever worker
+    ran it, so a job's cost can be reported exclusive of time spent
+    queued behind other jobs' shards.
+    """
+
+    seq: int
+    job_key: str
+    shots: int
+    failures: int
+    elapsed_s: float = 0.0
+
+
+class JobState:
+    """Sampling progress of one job: plan cursor, tallies, convergence.
+
+    ``plan`` covers the job's *maximum* budget (``max_shots`` when
+    adaptive, ``shots`` otherwise); ``tranche_shards`` marks how many
+    of those shards form the guaranteed initial tranche.  ``payload``
+    is opaque context the caller gets back on completion (the runner
+    stores the job, its artifacts and a start timestamp there).
+    """
+
+    __slots__ = (
+        "key", "compiled", "decoder", "plan", "target_failures",
+        "tranche_shards", "payload", "next_index", "inflight",
+        "shots_done", "failures", "shots_submitted", "work_s",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        compiled,
+        decoder: str,
+        plan: list,
+        *,
+        target_failures: int | None = None,
+        tranche_shards: int | None = None,
+        payload=None,
+    ):
+        self.key = key
+        self.compiled = compiled
+        self.decoder = decoder
+        self.plan = plan
+        self.target_failures = target_failures
+        self.tranche_shards = (
+            len(plan) if tranche_shards is None else min(tranche_shards, len(plan))
+        )
+        self.payload = payload
+        self.next_index = 0
+        self.inflight = 0
+        self.shots_done = 0
+        self.failures = 0
+        self.shots_submitted = 0
+        self.work_s = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def adaptive(self) -> bool:
+        return self.target_failures is not None
+
+    @property
+    def converged(self) -> bool:
+        """Failure target met — only adaptive jobs ever converge."""
+        return self.adaptive and self.failures >= self.target_failures
+
+    @property
+    def exhausted(self) -> bool:
+        return self.next_index >= len(self.plan)
+
+    @property
+    def in_tranche(self) -> bool:
+        return self.next_index < self.tranche_shards
+
+    @property
+    def wants_submission(self) -> bool:
+        """Fixed jobs must run their whole plan; adaptive jobs stop
+        submitting the moment they converge."""
+        return not self.exhausted and not self.converged
+
+    @property
+    def done(self) -> bool:
+        return self.inflight == 0 and (self.exhausted or self.converged)
+
+
+class StreamScheduler:
+    """Streams shards from many jobs through one backend.
+
+    Submission policy: first fill every job's initial tranche in job
+    order (so serial execution visits jobs in the order the sweep
+    declared them), then reinvest free capacity in the adaptive job
+    that has sampled the least so far — the starved points catch up
+    first.
+    """
+
+    def __init__(self, backend, cache):
+        self.backend = backend
+        self.cache = cache
+        self._states: dict[str, JobState] = {}
+        self._order: list[JobState] = []
+        self._seq = 0
+        self._inflight = 0
+        self._unfinished = 0
+        # Monotone cursor over _order for tranche filling (a job never
+        # regains tranche eligibility, so skipped entries stay skipped)
+        # and a completion queue filled by _absorb — both keep the
+        # scheduler O(1) per shard instead of O(jobs).
+        self._tranche_cursor = 0
+        self._newly_done: list[JobState] = []
+
+    # ------------------------------------------------------------------
+    def has(self, key: str) -> bool:
+        return key in self._states
+
+    def add(self, state: JobState) -> list[JobState]:
+        """Register a job and pump the stream without blocking.
+
+        Returns any jobs that completed while pumping (with a serial
+        backend that is typically the job just added: submission runs
+        the shard in-process, so the stream drains eagerly).
+        """
+        if state.key in self._states:
+            raise ValueError(f"job {state.key!r} already scheduled")
+        self._states[state.key] = state
+        self._order.append(state)
+        self._unfinished += 1
+        self._pump()
+        return self._pop_completed()
+
+    def drain(self):
+        """Generator of completed jobs; blocks until every job is done."""
+        for done in self._pop_completed():
+            yield done
+        while self._unfinished:
+            submitted = self._fill()
+            outcomes = self.backend.poll()
+            if not outcomes and not submitted:
+                if self._inflight == 0:
+                    raise RuntimeError(
+                        "scheduler stalled: jobs pending but nothing in flight"
+                    )
+                outcomes = self.backend.wait()
+            self._absorb(outcomes)
+            for done in self._pop_completed():
+                yield done
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Submit as much as capacity allows; absorb without blocking."""
+        while True:
+            submitted = self._fill()
+            outcomes = self.backend.poll()
+            if not outcomes and not submitted:
+                return
+            self._absorb(outcomes)
+
+    def _fill(self) -> int:
+        capacity = max(1, int(getattr(self.backend, "capacity", 1)))
+        submitted = 0
+        while self._inflight < capacity:
+            state = self._pick()
+            if state is None:
+                break
+            shard = state.plan[state.next_index]
+            task = ShardTask(
+                seq=self._seq,
+                job_key=state.key,
+                circuit_key=state.compiled.key,
+                decoder=state.decoder,
+                shots=shard.shots,
+                seed=shard.seed,
+                shard_index=shard.index,
+            )
+            self._seq += 1
+            state.next_index += 1
+            state.inflight += 1
+            state.shots_submitted += shard.shots
+            self._inflight += 1
+            self.backend.submit(task, state.compiled, self.cache)
+            submitted += 1
+        return submitted
+
+    def _pick(self) -> JobState | None:
+        # Phase 1: guaranteed initial tranches, in declaration order.
+        # The cursor only moves forward: a job leaves the tranche phase
+        # by exhausting it or converging, and neither reverses.
+        while self._tranche_cursor < len(self._order):
+            state = self._order[self._tranche_cursor]
+            if state.wants_submission and state.in_tranche:
+                return state
+            self._tranche_cursor += 1
+        # Phase 2: reinvest in the least-sampled unconverged job.
+        best = None
+        best_rank = None
+        for position, state in enumerate(self._order):
+            if not state.wants_submission:
+                continue
+            rank = (state.shots_submitted, position)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = state, rank
+        return best
+
+    def _absorb(self, outcomes) -> None:
+        for outcome in outcomes:
+            state = self._states[outcome.job_key]
+            state.inflight -= 1
+            self._inflight -= 1
+            state.shots_done += outcome.shots
+            state.failures += outcome.failures
+            state.work_s += outcome.elapsed_s
+            if state.done:
+                # A job can only complete when its last in-flight shard
+                # lands, so this is the one place completions surface.
+                self._newly_done.append(state)
+                self._unfinished -= 1
+
+    def _pop_completed(self) -> list[JobState]:
+        fresh, self._newly_done = self._newly_done, []
+        return fresh

@@ -41,6 +41,22 @@ class SweepJob:
     rounds: int
     shots: int
     basis: str = "Z"
+    # Adaptive shot allocation: when ``target_failures`` is set,
+    # ``shots`` is only the *initial tranche* — the scheduler keeps
+    # sampling (up to ``max_shots``) until the job has observed
+    # ``target_failures`` logical failures, and retires it early once
+    # it has.  ``None`` means classic fixed-shot sampling.
+    target_failures: int | None = None
+    max_shots: int | None = None
+
+    @property
+    def adaptive(self) -> bool:
+        return self.target_failures is not None
+
+    @property
+    def shot_cap(self) -> int:
+        """The most shots this job may ever sample."""
+        return self.max_shots if self.adaptive else self.shots
 
     @property
     def circuit_params(self) -> tuple:
@@ -62,13 +78,24 @@ class SweepJob:
 
     @property
     def key(self) -> str:
-        """Stable, human-scannable identity: label prefix + content hash."""
-        payload = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        """Stable, human-scannable identity: label prefix + content hash.
+
+        Fixed-shot jobs hash exactly the fields they had before the
+        adaptive mode existed: their keys (and hence their shard RNG
+        streams and stored results) are unchanged by the feature.
+        """
+        content = asdict(self)
+        if not self.adaptive:
+            del content["target_failures"], content["max_shots"]
+        payload = json.dumps(content, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(payload.encode()).hexdigest()[:12]
+        budget = f"n{self.shots}"
+        if self.adaptive:
+            budget = f"n{self.shots}-f{self.target_failures}of{self.max_shots}"
         return (
             f"{self.code}-d{self.distance}-c{self.capacity}-{self.topology}"
             f"-{self.wiring}-x{self.gate_improvement:g}-{self.decoder}"
-            f"-r{self.rounds}-n{self.shots}-{digest}"
+            f"-r{self.rounds}-{budget}-{digest}"
         )
 
     def to_dict(self) -> dict:
@@ -102,6 +129,13 @@ class SweepSpec:
     shots: int = 2000
     basis: str = "Z"
     master_seed: int = 2026
+    # Adaptive shot allocation (see SweepJob): sample each design
+    # point until it shows ``target_failures`` failures, spending at
+    # most ``max_shots``; ``shots`` is the initial tranche every job is
+    # guaranteed before freed budget is reinvested in noisy points.
+    # ``max_shots`` defaults to 100 tranches when left unset.
+    target_failures: int | None = None
+    max_shots: int | None = None
 
     def __post_init__(self):
         for name in ("distances", "capacities", "topologies", "wirings",
@@ -132,6 +166,18 @@ class SweepSpec:
             raise ValueError("rounds must be positive (or None for rounds=distance)")
         if self.shots < 0:
             raise ValueError("shots must be non-negative (0 = compile-only)")
+        if self.target_failures is None:
+            if self.max_shots is not None:
+                raise ValueError("max_shots requires target_failures (adaptive mode)")
+        else:
+            if self.target_failures < 1:
+                raise ValueError("target_failures must be positive")
+            if self.shots < 1:
+                raise ValueError("adaptive mode needs shots > 0 (the initial tranche)")
+            if self.max_shots is None:
+                object.__setattr__(self, "max_shots", 100 * self.shots)
+            if self.max_shots < self.shots:
+                raise ValueError("max_shots must be >= shots (the initial tranche)")
 
     @property
     def num_jobs(self) -> int:
@@ -160,5 +206,7 @@ class SweepSpec:
                                     rounds=self.rounds if self.rounds is not None else d,
                                     shots=self.shots,
                                     basis=self.basis,
+                                    target_failures=self.target_failures,
+                                    max_shots=self.max_shots,
                                 ))
         return jobs

@@ -87,32 +87,34 @@ def estimate_until_failures(
     batch: int = 5000,
     decoder: str = "mwpm",
     seed: int | None = None,
+    backend=None,
 ) -> LerResult:
     """Adaptive estimation: sample in batches until enough failures.
 
     Low logical error rates make fixed shot counts wasteful (too many)
-    or misleading (too few failures for a stable estimate).  This
-    samples ``batch`` shots at a time, reusing one detector error model
-    and decoder, and stops at ``min_failures`` observed failures or at
-    the ``max_shots`` budget, whichever comes first.
+    or misleading (too few failures for a stable estimate).  This runs
+    the engine's adaptive shard scheduler over one ad-hoc circuit:
+    ``batch`` shots per shard (each on its own ``SeedSequence`` stream
+    spawned from ``seed``), stopping at ``min_failures`` observed
+    failures or at the ``max_shots`` budget, whichever comes first.
+    Pass an engine backend (e.g. ``MultiprocessBackend``) to fan the
+    shards out over workers.
     """
     if min_failures < 1:
         raise ValueError("min_failures must be positive")
     if batch < 1 or max_shots < batch:
         raise ValueError("need max_shots >= batch >= 1")
-    dem = circuit_to_dem(circuit)
-    graph = DetectorGraph.from_dem(dem)
-    dec = make_decoder(graph, decoder)
-    simulator = FrameSimulator(circuit, seed=seed)
-    shots = 0
-    failures = 0
-    while shots < max_shots and failures < min_failures:
-        take = min(batch, max_shots - shots)
-        sample = simulator.sample(take)
-        failures += int(
-            dec.logical_failures(sample.detectors, sample.observables).sum()
-        )
-        shots += take
+    from ..engine.runner import sample_adaptive  # deferred: engine builds on this module
+
+    shots, failures = sample_adaptive(
+        circuit,
+        decoder=decoder,
+        target_failures=min_failures,
+        max_shots=max_shots,
+        shard_shots=batch,
+        seed=seed,
+        backend=backend,
+    )
     return LerResult(shots=shots, failures=failures, rounds=rounds)
 
 

@@ -7,6 +7,9 @@ Usage examples::
         --topology grid --csv results.csv
     python -m repro.toolflow.cli sweep --distances 3 5 --shots 20000 \\
         --workers 4 --results sweep.jsonl --cache-dir .demcache --progress
+    python -m repro.toolflow.cli sweep --distances 3 5 \\
+        --decoders mwpm union_find --topologies grid switch \\
+        --shots 2000 --target-failures 100 --max-shots 200000
     python -m repro.toolflow.cli project --distances 3 5 \\
         --improvement 5 --shots 8000 --target 1e-9
 
@@ -94,7 +97,11 @@ def cmd_sweep(args) -> int:
 
     Unlike ``evaluate``, this compiles each unique circuit once, can
     shard Monte-Carlo shots over worker processes, and can resume an
-    interrupted sweep from a JSON-lines result store.
+    interrupted sweep from a JSON-lines result store.  Every grid axis
+    accepts multiple values: the plural flags (``--topologies``,
+    ``--wirings``, ``--improvements``, ``--decoders``) default to their
+    singular counterparts, and the sweep expands the full
+    cross-product.
     """
     from ..engine import SweepSpec
 
@@ -102,13 +109,15 @@ def cmd_sweep(args) -> int:
         code=args.code,
         distances=tuple(args.distances),
         capacities=tuple(args.capacities),
-        topologies=(args.topology,),
-        wirings=(args.wiring,),
-        gate_improvements=(args.improvement,),
-        decoders=(args.decoder,),
+        topologies=tuple(args.topologies or [args.topology]),
+        wirings=tuple(args.wirings or [args.wiring]),
+        gate_improvements=tuple(args.improvements or [args.improvement]),
+        decoders=tuple(args.decoders or [args.decoder]),
         rounds=args.rounds,
         shots=args.shots,
         master_seed=args.seed,
+        target_failures=args.target_failures,
+        max_shots=args.max_shots,
     )
     explorer = DesignSpaceExplorer(code_name=args.code, seed=args.seed)
     records = explorer.sweep(
@@ -161,6 +170,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--distances", type=int, nargs="+", required=True)
     p_sweep.add_argument("--capacities", type=int, nargs="+", default=[2])
+    # Plural grid axes: each defaults to its singular flag, so
+    # "--decoder mwpm" and "--decoders mwpm union_find" both work and
+    # the sweep always expands the full cross-product.
+    p_sweep.add_argument("--topologies", nargs="+", default=None,
+                         choices=["grid", "linear", "switch"],
+                         help="topology grid axis (default: --topology)")
+    p_sweep.add_argument("--wirings", nargs="+", default=None,
+                         choices=["standard", "wise"],
+                         help="wiring grid axis (default: --wiring)")
+    p_sweep.add_argument("--improvements", type=float, nargs="+", default=None,
+                         help="gate-improvement grid axis (default: --improvement)")
+    p_sweep.add_argument("--decoders", nargs="+", default=None,
+                         choices=["mwpm", "union_find"],
+                         help="decoder grid axis (default: --decoder)")
+    p_sweep.add_argument("--target-failures", type=int, default=None,
+                         help="adaptive mode: stop sampling a design point "
+                              "once it shows this many failures (--shots "
+                              "becomes the initial tranche)")
+    p_sweep.add_argument("--max-shots", type=int, default=None,
+                         help="adaptive mode: per-point shot budget "
+                              "(default: 100x --shots)")
     p_sweep.add_argument("--csv", default=None)
     p_sweep.add_argument("--workers", type=int, default=0,
                          help="worker processes for shot sharding (0/1 = serial)")

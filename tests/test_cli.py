@@ -34,6 +34,34 @@ class TestParser:
                 ["evaluate", "--distance", "3", "--topology", "torus"]
             )
 
+    def test_sweep_plural_axis_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--distances", "3", "--decoders", "mwpm", "union_find",
+             "--topologies", "grid", "switch", "--wirings", "standard",
+             "--improvements", "1", "5"]
+        )
+        assert args.decoders == ["mwpm", "union_find"]
+        assert args.topologies == ["grid", "switch"]
+        assert args.wirings == ["standard"]
+        assert args.improvements == [1.0, 5.0]
+        # Singular flags remain the defaults for the plural axes.
+        bare = build_parser().parse_args(["sweep", "--distances", "3"])
+        assert bare.decoders is None and bare.topologies is None
+
+    def test_sweep_adaptive_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--distances", "3", "--shots", "500",
+             "--target-failures", "50", "--max-shots", "20000"]
+        )
+        assert args.target_failures == 50
+        assert args.max_shots == 20000
+
+    def test_bad_plural_decoder_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--distances", "3", "--decoders", "mwpm", "bp"]
+            )
+
 
 class TestCommands:
     def test_evaluate_runs(self, capsys):
@@ -75,3 +103,27 @@ class TestCommands:
         ])
         assert code == 0
         assert "repetition" in capsys.readouterr().out
+
+    def test_sweep_expands_full_cross_product(self, tmp_path, capsys):
+        # The bug this guards against: cmd_sweep used to silently
+        # narrow the grid to a single topology/wiring/improvement/
+        # decoder even though SweepSpec takes tuples.
+        path = tmp_path / "grid.csv"
+        code = main([
+            "sweep", "--distances", "2", "--rounds", "2",
+            "--decoders", "mwpm", "union_find",
+            "--topologies", "grid", "switch",
+            "--csv", str(path),
+        ])
+        assert code == 0
+        rows = list(csv.reader(path.open()))
+        assert len(rows) == 5  # header + 2 topologies x 2 decoders
+
+    def test_sweep_adaptive_run(self, capsys):
+        code = main([
+            "sweep", "--distances", "2", "--rounds", "2",
+            "--shots", "128", "--shard-shots", "64",
+            "--target-failures", "5", "--max-shots", "1024",
+        ])
+        assert code == 0
+        assert "rotated_surface" in capsys.readouterr().out

@@ -1,8 +1,13 @@
 """Execution-engine tests: sweep expansion, determinism across
-backends and worker counts, compilation caching, and JSONL resume."""
+backends and worker counts, adaptive shot allocation, worker payload
+priming, compilation caching, and JSONL resume."""
 
 import json
 import os
+import signal
+import subprocess
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -144,13 +149,17 @@ class TestBackendDeterminism:
         assert cache.misses == 6 and cache.hits == 0
 
     def test_worker_count_does_not_change_failures(self):
-        spec = small_spec(distances=(2,))
-        totals = []
-        for workers in (2, 3):
+        # Fixed-shot mode must stay bit-identical from serial up to a
+        # 4-worker pool: the shard plan, not the scheduler, decides
+        # what gets sampled.
+        spec = small_spec()
+        serial = run_sweep(spec, shard_shots=SHARD)
+        totals = [[r.failures for r in serial]]
+        for workers in (2, 4):
             with MultiprocessBackend(max_workers=workers) as backend:
                 results = run_sweep(spec, backend=backend, shard_shots=SHARD)
             totals.append([r.failures for r in results])
-        assert totals[0] == totals[1]
+        assert totals[0] == totals[1] == totals[2]
 
     def test_rerun_is_bit_identical(self):
         spec = small_spec(distances=(2,))
@@ -276,6 +285,299 @@ class TestEstimateSweep:
         assert 0.0 < ler.per_shot < 1.0
         [direct] = run_sweep(spec, shard_shots=SHARD)
         assert direct.failures == result.failures
+
+
+def adaptive_spec(**overrides):
+    """d=2 is the noisy point (converges fast), d=3 the quiet one."""
+    base = dict(
+        distances=(2, 3),
+        shots=128,
+        target_failures=15,
+        max_shots=2048,
+        rounds=2,
+        master_seed=7,
+    )
+    base.update(overrides)
+    return small_spec(**base)
+
+
+class TestAdaptiveAllocation:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="max_shots requires"):
+            small_spec(max_shots=1000)
+        with pytest.raises(ValueError, match="target_failures must be"):
+            small_spec(target_failures=0)
+        with pytest.raises(ValueError, match="initial tranche"):
+            small_spec(shots=0, target_failures=5)
+        with pytest.raises(ValueError, match="max_shots must be >="):
+            small_spec(shots=100, target_failures=5, max_shots=50)
+        # max_shots defaults to 100 tranches.
+        spec = small_spec(shots=100, target_failures=5)
+        assert spec.max_shots == 10000
+        assert all(j.max_shots == 10000 for j in spec.expand())
+
+    def test_adaptive_budget_is_job_content(self):
+        fixed = small_spec(distances=(2,)).expand()[0]
+        adaptive = adaptive_spec(distances=(2,), shots=SHOTS).expand()[0]
+        assert fixed.key != adaptive.key
+        assert not fixed.adaptive and adaptive.adaptive
+        assert f"f{adaptive.target_failures}of{adaptive.max_shots}" in adaptive.key
+
+    def test_early_stop_and_reinvestment(self):
+        # The noisy point must retire at its failure target instead of
+        # burning the whole budget; the quiet point keeps sampling.
+        spec = adaptive_spec()
+        noisy, quiet = run_sweep(spec, shard_shots=SHARD)
+        assert noisy.job.distance == 2
+        assert noisy.failures >= spec.target_failures
+        assert noisy.shots < spec.max_shots
+        assert noisy.extras["adaptive"]["converged"]
+        assert quiet.shots > noisy.shots  # freed budget went to the
+        # starved point (it runs on until target or cap)
+        assert quiet.shots <= spec.max_shots
+        if not quiet.extras["adaptive"]["converged"]:
+            assert quiet.shots == spec.max_shots
+
+    def test_serial_adaptive_is_deterministic(self):
+        spec = adaptive_spec()
+        a = run_sweep(spec, shard_shots=SHARD)
+        b = run_sweep(spec, shard_shots=SHARD)
+        assert [(r.shots, r.failures) for r in a] == [
+            (r.shots, r.failures) for r in b
+        ]
+
+    def test_adaptive_multiprocess_converges(self):
+        # Worker counts may change *how many* shards were in flight at
+        # convergence (adaptive mode trades bit-identity for early
+        # stopping), but never the target or budget contract.
+        spec = adaptive_spec()
+        results = run_sweep(spec, workers=2, shard_shots=SHARD)
+        for result in results:
+            adaptive = result.extras["adaptive"]
+            assert result.shots <= spec.max_shots
+            if adaptive["converged"]:
+                assert result.failures >= spec.target_failures
+
+    def test_shard_size_clamped_to_tranche(self):
+        # shard_shots far above the tranche must not turn the initial
+        # tranche into one giant shard: adaptivity granularity is the
+        # tranche size.
+        spec = adaptive_spec(distances=(2,), shots=64, max_shots=1024)
+        [result] = run_sweep(spec, shard_shots=4096)
+        assert result.shots <= 1024
+
+    def test_resume_of_partially_converged_adaptive_sweep(self, tmp_path):
+        path = str(tmp_path / "adaptive.jsonl")
+        spec = adaptive_spec()
+        full = run_sweep(spec, results_path=path, shard_shots=SHARD)
+        # Interrupt signature: only the first (converged) job made it
+        # into the store before the run died.
+        lines = open(path).read().splitlines()
+        with open(path, "w") as fh:
+            fh.write(lines[0] + "\n")
+        resumed = run_sweep(spec, results_path=path, shard_shots=SHARD)
+        assert resumed[0].resumed and not resumed[1].resumed
+        assert [(r.shots, r.failures) for r in resumed] == [
+            (r.shots, r.failures) for r in full
+        ]
+        # A completed adaptive store resumes wholesale.
+        third = run_sweep(spec, results_path=path, shard_shots=SHARD)
+        assert all(r.resumed for r in third)
+
+
+class CountingBackend(MultiprocessBackend):
+    """Records every worker message so tests can audit priming traffic."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.primes: list[tuple[int, str]] = []
+        self.shard_messages: list[tuple] = []
+
+    def _send(self, worker, message):
+        if message[0] == "prime":
+            self.primes.append((worker, message[1]))
+        elif message[0] == "shard":
+            self.shard_messages.append(message)
+        super()._send(worker, message)
+
+
+class TestWorkerPriming:
+    def test_dem_shipped_at_most_once_per_worker_per_circuit(self):
+        # 2 circuits x 2 decoders, plenty of shards each.
+        spec = small_spec(decoders=("mwpm", "union_find"))
+        with CountingBackend(max_workers=2) as backend:
+            results = run_sweep(spec, backend=backend, shard_shots=64)
+        assert len(results) == 4
+        # Priming happened, and never twice for the same (worker,
+        # circuit) pair: the DEM payload crosses each process boundary
+        # at most once per unique circuit.
+        assert backend.primes
+        assert len(backend.primes) == len(set(backend.primes))
+        assert len(backend.primes) <= 2 * 2  # workers x unique circuits
+
+    def test_shard_payloads_carry_no_dem(self):
+        spec = small_spec(distances=(2,), shots=SHOTS)
+        with CountingBackend(max_workers=2) as backend:
+            run_sweep(spec, backend=backend, shard_shots=64)
+        assert backend.shard_messages
+        for message in backend.shard_messages:
+            kind, seq, circuit_key, decoder, shots, seed, epoch = message
+            assert kind == "shard"
+            assert isinstance(circuit_key, str) and len(circuit_key) == 64
+            assert isinstance(decoder, str)
+            assert isinstance(shots, int)
+            # No nested payloads: the DEM JSON (dicts/lists) never
+            # rides along with a shard.
+            assert not any(
+                isinstance(field, (dict, list, tuple)) for field in message
+            )
+
+    def test_adaptive_shard_payloads_carry_no_dem(self):
+        # The acceptance-criteria grid: an adaptive sweep over
+        # {d=3, d=5} stops sampling the high-LER point at its failure
+        # target, and its shard payloads carry no DEM JSON.
+        spec = adaptive_spec(distances=(3, 5), max_shots=16384)
+        with CountingBackend(max_workers=2) as backend:
+            results = run_sweep(spec, backend=backend, shard_shots=SHARD)
+        noisy = max(results, key=lambda r: r.failures / r.shots)
+        assert noisy.failures >= spec.target_failures
+        assert noisy.shots < spec.max_shots
+        assert noisy.extras["adaptive"]["converged"]
+        assert all(
+            not any(isinstance(f, (dict, list)) for f in message)
+            for message in backend.shard_messages
+        )
+
+
+class TestSharedBackendAbort:
+    def test_aborted_sweep_does_not_contaminate_next(self):
+        # A caller-owned backend survives a mid-sweep abort; the shards
+        # it still had in flight must be disowned, not absorbed into
+        # the next sweep's failure counts.
+        from repro.engine import ProgressReporter
+
+        spec = small_spec()
+        serial = run_sweep(spec, shard_shots=64)
+
+        class Boom(Exception):
+            pass
+
+        class Exploding(ProgressReporter):
+            def job_done(self, *args, **kwargs):
+                raise Boom()  # abort while the other job's shards fly
+
+        with MultiprocessBackend(max_workers=2) as backend:
+            with pytest.raises(Boom):
+                run_sweep(
+                    spec, backend=backend, shard_shots=64,
+                    progress=Exploding(enabled=False),
+                )
+            results = run_sweep(spec, backend=backend, shard_shots=64)
+        assert [r.failures for r in results] == [r.failures for r in serial]
+
+
+class TestInterruptPath:
+    def test_sigint_reaches_parent_promptly(self, tmp_path):
+        # A sweep sized to run for minutes: SIGINT must kill it in
+        # seconds, not after the current job's last shard.
+        script = (
+            "from repro.engine import SweepSpec, run_sweep\n"
+            "print('READY', flush=True)\n"
+            "spec = SweepSpec(distances=(2,), rounds=2, shots=200_000_000,\n"
+            "                 master_seed=3)\n"
+            "run_sweep(spec, workers=2, shard_shots=2048)\n"
+            "print('FINISHED', flush=True)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            time.sleep(4)  # compile finishes, workers are sampling
+            t0 = time.monotonic()
+            proc.send_signal(signal.SIGINT)
+            returncode = proc.wait(timeout=30)
+            elapsed = time.monotonic() - t0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert returncode != 0  # KeyboardInterrupt, not a clean finish
+        assert "FINISHED" not in proc.stdout.read()
+        assert elapsed < 30
+
+
+class TestStoreMemoization:
+    def test_polling_does_not_reparse(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        spec = small_spec(distances=(2,), shots=0)
+        run_sweep(spec, store=store)
+        assert len(store) == 1
+        reads = store.file_reads
+        for _ in range(20):
+            assert len(store) == 1
+            assert len(store.completed_keys()) == 1
+        assert store.file_reads == reads  # stat-only polling
+
+    def test_append_keeps_memo_coherent(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        spec = small_spec(distances=(2, 3), shots=0)
+        results = run_sweep(spec, store=store)
+        loaded = store.load()
+        assert set(loaded) == {r.key for r in results}
+        assert all(r.resumed for r in loaded.values())
+
+    def test_external_write_invalidates_memo(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(str(path))
+        spec = small_spec(distances=(2,), shots=0)
+        [result] = run_sweep(spec, store=store)
+        assert len(store) == 1
+        # Another process truncates the store behind our back.
+        time.sleep(0.01)  # ensure a distinct mtime_ns on coarse clocks
+        path.write_text("")
+        assert len(store) == 0
+
+    def test_reuse_requires_real_metrics(self, tmp_path):
+        # A store line with an empty metrics dict (older format /
+        # corrupt record) must not be resumed: it would poison every
+        # record rebuilt from the store.
+        path = str(tmp_path / "r.jsonl")
+        spec = small_spec(distances=(2,), shots=0)
+        [result] = run_sweep(spec, results_path=path)
+        data = json.loads(open(path).read())
+        data.pop("metrics")
+        with open(path, "w") as fh:
+            fh.write(json.dumps(data) + "\n")
+        [rerun] = run_sweep(spec, results_path=path)
+        assert not rerun.resumed
+        assert rerun.metrics["round_time_us"] > 0
+        # The repaired record supersedes the hollow one.
+        [third] = run_sweep(spec, results_path=path)
+        assert third.resumed and third.metrics
+
+
+class TestProgressReporter:
+    def test_finish_tolerates_partial_cache_stats(self, capsys):
+        from repro.engine import ProgressReporter
+
+        reporter = ProgressReporter(enabled=True, stream=sys.stdout)
+        reporter.start(1)
+        reporter.job_done("k", 3, 0.1, shots=600)
+        reporter.finish({"misses": 2})  # no hits / disk_hits keys
+        out = capsys.readouterr().out
+        assert "2 compiled" in out
+        assert "0 hits" in out
+        assert "failures=3/600 shots" in out
 
 
 class TestExplorerSweep:
