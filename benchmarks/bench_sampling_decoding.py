@@ -1,0 +1,186 @@
+"""Sampling + decoding fast-path microbenchmark (BENCH_sampling.json).
+
+Measures, on the d=5 grid-topology memory design point (d=3 in smoke
+mode), the two halves of the Monte-Carlo hot path:
+
+- **sampling** — gate-by-gate :class:`FrameSimulator` replay vs the
+  bit-packed DEM-direct :class:`DemSampler`;
+- **decoding** — one MWPM decode per shot vs deduplicated batch
+  decoding with the cross-shard syndrome memo;
+
+and the **end-to-end** pipelines they compose (sample + decode +
+failure count, i.e. what one engine shard does).  Results go to the
+repo-root ``BENCH_sampling.json`` so the perf trajectory is recorded,
+and to ``benchmarks/results/`` like every other benchmark table.
+
+Assertions gate the fast path: in smoke mode it merely must not be
+slower than the frame path; the full run enforces the acceptance
+targets (>= 5x sampling, >= 3x end-to-end) at the paper's
+5x-improvement design point, where the low-error-rate dedupe premise
+holds.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.decoders import MwpmDecoder
+from repro.engine import CompilationCache, SweepSpec
+from repro.engine.runner import compile_design_point, plan_shards
+from repro.noise.parameters import DEFAULT_NOISE
+from repro.sim import DemSampler, FrameSimulator
+
+from _common import MASTER_SEED, publish, smoke
+
+BENCH_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sampling.json")
+)
+
+
+def _bench_point(distance: int, improvement: float, shard_shots: int,
+                 num_shards: int) -> dict:
+    """Run both pipelines over the same shard plan; return the numbers."""
+    spec = SweepSpec(
+        distances=(distance,),
+        gate_improvements=(improvement,),
+        shots=shard_shots * num_shards,
+        master_seed=MASTER_SEED,
+    )
+    [job] = spec.expand()
+    artifacts = compile_design_point(job, DEFAULT_NOISE, need_circuit=True)
+    cache = CompilationCache()
+    compiled = cache.compiled(artifacts.circuit, artifacts.text)
+    dem_sampler = cache.dem_sampler(compiled)
+    cache.distance_matrix(compiled)  # dijkstra priced into neither path
+    frame_decoder = MwpmDecoder(compiled.graph)
+    fast_decoder = MwpmDecoder(compiled.graph)
+    shards = plan_shards(job.shots, shard_shots, spec.master_seed, job.key)
+
+    t_frame_sample = t_naive_decode = 0.0
+    t_dem_sample = t_dedup_decode = 0.0
+    frame_failures = fast_failures = 0
+    for shard in shards:
+        t0 = time.perf_counter()
+        sample = FrameSimulator(compiled.circuit, seed=shard.seed).sample(
+            shard.shots
+        )
+        t1 = time.perf_counter()
+        fails = frame_decoder.logical_failures(
+            sample.detectors, sample.observables, dedupe=False
+        )
+        t2 = time.perf_counter()
+        t_frame_sample += t1 - t0
+        t_naive_decode += t2 - t1
+        frame_failures += int(fails.sum())
+
+        t0 = time.perf_counter()
+        fast = dem_sampler.sample(shard.shots, seed=shard.seed)
+        t1 = time.perf_counter()
+        fails = fast_decoder.logical_failures(
+            fast.detectors, fast.observables, dedupe=True
+        )
+        t2 = time.perf_counter()
+        t_dem_sample += t1 - t0
+        t_dedup_decode += t2 - t1
+        fast_failures += int(fails.sum())
+
+    shots = job.shots
+    memo = fast_decoder.syndrome_memo()
+    return {
+        "gate_improvement": improvement,
+        "distance": distance,
+        "shots": shots,
+        "shards": len(shards),
+        "sampling": {
+            "frame_shots_per_s": shots / t_frame_sample,
+            "dem_shots_per_s": shots / t_dem_sample,
+            "speedup": t_frame_sample / t_dem_sample,
+        },
+        "decoding": {
+            "naive_decodes_per_s": shots / t_naive_decode,
+            "dedup_decodes_per_s": shots / t_dedup_decode,
+            "speedup": t_naive_decode / t_dedup_decode,
+            "distinct_syndromes": len(memo),
+            "memo_hits": memo.hits,
+        },
+        "end_to_end": {
+            "frame_shots_per_s": shots / (t_frame_sample + t_naive_decode),
+            "fastpath_shots_per_s": shots / (t_dem_sample + t_dedup_decode),
+            "speedup": (t_frame_sample + t_naive_decode)
+                       / (t_dem_sample + t_dedup_decode),
+            "frame_failures": frame_failures,
+            "fastpath_failures": fast_failures,
+        },
+    }
+
+
+def test_sampling_decoding_fastpath():
+    if smoke():
+        # (improvement, shard_shots, num_shards)
+        distance, grid = 3, ((5.0, 256, 2),)
+    else:
+        # The 1x point records the noisy-regime trajectory; the paper's
+        # 5x design point carries the acceptance assertions and gets a
+        # realistic multi-shard budget so the cross-shard syndrome memo
+        # amortises the way a real LER job's does.
+        distance, grid = 5, ((1.0, 1024, 2), (5.0, 2048, 16))
+
+    points = [
+        _bench_point(distance, improvement, shard_shots, num_shards)
+        for improvement, shard_shots, num_shards in grid
+    ]
+
+    header = (
+        f"{'improve':>7}  {'frame smp/s':>11}  {'dem smp/s':>11}  "
+        f"{'smp x':>6}  {'naive dec/s':>11}  {'dedup dec/s':>11}  "
+        f"{'e2e x':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p['gate_improvement']:>7g}  "
+            f"{p['sampling']['frame_shots_per_s']:>11.0f}  "
+            f"{p['sampling']['dem_shots_per_s']:>11.0f}  "
+            f"{p['sampling']['speedup']:>6.1f}  "
+            f"{p['decoding']['naive_decodes_per_s']:>11.0f}  "
+            f"{p['decoding']['dedup_decodes_per_s']:>11.0f}  "
+            f"{p['end_to_end']['speedup']:>6.1f}"
+        )
+    mode = "smoke" if smoke() else "full"
+    shots_summary = ", ".join(
+        f"x{p['gate_improvement']:g}: {p['shots']}" for p in points
+    )
+    lines.append("")
+    lines.append(
+        f"mode: {mode}; d={distance}; grid topology; mwpm; "
+        f"shots per point: {shots_summary}"
+    )
+    publish("bench_sampling_decoding", "\n".join(lines))
+
+    payload = {
+        "benchmark": "bench_sampling_decoding",
+        "smoke": smoke(),
+        "grid": {
+            "code": "rotated_surface",
+            "distance": distance,
+            "topology": "grid",
+            "decoder": "mwpm",
+        },
+        "points": points,
+    }
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    # The fast path must never lose to the frame path, even on the
+    # CI smoke grid.
+    for p in points:
+        assert p["sampling"]["speedup"] > 1.0, p
+        assert p["end_to_end"]["speedup"] > 1.0, p
+    if not smoke():
+        # Acceptance targets at the paper's improved design point.
+        quiet = max(points, key=lambda p: p["gate_improvement"])
+        assert quiet["sampling"]["speedup"] >= 5.0, quiet["sampling"]
+        assert quiet["end_to_end"]["speedup"] >= 3.0, quiet["end_to_end"]

@@ -1,17 +1,28 @@
 """Decoders for detector error models (PyMatching substitute).
 
 - :class:`DetectorGraph` — weighted syndrome graph with boundary node.
-- :class:`MwpmDecoder` — minimum-weight perfect matching (blossom).
+- :class:`MwpmDecoder` — minimum-weight perfect matching (cluster-
+  decomposed exact DP with a blossom fallback).
 - :class:`UnionFindDecoder` — almost-linear union-find decoding.
 - :class:`LookupDecoder` — exhaustive oracle for small models (tests).
+- :class:`BatchDecoderMixin` / :func:`decode_batch_dedup` — shared
+  deduplicated batch decoding with a cross-shard syndrome memo.
 """
 
+from .batch import (
+    BatchDecoderMixin,
+    SyndromeMemo,
+    decode_batch_dedup,
+)
 from .graph import DetectorEdge, DetectorGraph, llr_weight
 from .lookup import LookupDecoder
 from .mwpm import MwpmDecoder
 from .union_find import UnionFindDecoder
 
 __all__ = [
+    "BatchDecoderMixin",
+    "SyndromeMemo",
+    "decode_batch_dedup",
     "DetectorEdge",
     "DetectorGraph",
     "llr_weight",

@@ -1,0 +1,122 @@
+"""Deduplicated batch decoding shared by every decoder.
+
+Decoding is the per-shot hot spot of LER estimation: matching is
+milliseconds per syndrome while sampling is microseconds per shot.  But
+at low physical error rate the syndrome *distribution* is extremely
+skewed — most shots are empty or repeat a handful of light syndromes —
+so decoding every shot individually repeats identical work.
+
+:func:`decode_batch_dedup` packs each shot's detector bits into uint64
+words, ``np.unique``-s the packed rows, decodes each *distinct*
+syndrome exactly once, and scatters the corrections back to shots.  A
+:class:`SyndromeMemo` carries decoded syndromes across shard
+boundaries: decoder instances live as long as a worker's circuit memo,
+so a syndrome seen in shard 0 is free in every later shard of the same
+(circuit, decoder) pair.
+
+:class:`BatchDecoderMixin` gives every decoder the same
+``decode_batch`` / ``logical_failures`` pair on top of its scalar
+``decode`` — one implementation instead of one copy per decoder class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.dem_sampler import pack_bool_rows
+
+# Cross-shard memo bound: distinct syndromes are few at the error rates
+# worth sweeping, but a near-threshold design point could see almost
+# every shot distinct — stop inserting (not decoding) past this size so
+# a long sweep cannot grow the memo without bound.
+DEFAULT_MEMO_LIMIT = 1 << 18
+
+
+class SyndromeMemo:
+    """Bounded ``packed syndrome -> correction mask`` memo with stats."""
+
+    def __init__(self, limit: int = DEFAULT_MEMO_LIMIT):
+        self.limit = limit
+        self.table: dict[bytes, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+def decode_batch_dedup(
+    decode_one,
+    detector_samples: np.ndarray,
+    memo: SyndromeMemo | None = None,
+) -> np.ndarray:
+    """Decode a ``(shots, detectors)`` boolean batch via deduplication.
+
+    ``decode_one`` maps one boolean detector row to an observable
+    bitmask.  Each distinct syndrome in the batch is decoded at most
+    once; with a ``memo``, at most once per decoder lifetime.
+    """
+    samples = np.atleast_2d(np.asarray(detector_samples, dtype=bool))
+    packed = pack_bool_rows(samples)
+    uniq, first_shot, inverse = np.unique(
+        packed, axis=0, return_index=True, return_inverse=True
+    )
+    corrections = np.empty(len(uniq), dtype=np.int64)
+    for row in range(len(uniq)):
+        key = uniq[row].tobytes()
+        if memo is not None:
+            cached = memo.table.get(key)
+            if cached is not None:
+                memo.hits += 1
+                corrections[row] = cached
+                continue
+            memo.misses += 1
+        # Decode the first shot that produced this syndrome: cheaper
+        # than unpacking the packed row, and exact by construction.
+        mask = int(decode_one(samples[first_shot[row]]))
+        corrections[row] = mask
+        if memo is not None and len(memo.table) < memo.limit:
+            memo.table[key] = mask
+    return corrections[inverse.reshape(-1)]
+
+
+class BatchDecoderMixin:
+    """Shared batch API: dedupe-accelerated ``decode_batch`` plus the
+    ``logical_failures`` reduction every estimator consumes.
+
+    Subclasses provide ``decode(detector_sample) -> int``.  Set
+    ``dedupe=False`` per call to force the one-decode-per-shot
+    reference path (the exactness tests diff the two).
+    """
+
+    _memo: SyndromeMemo | None = None
+
+    def syndrome_memo(self) -> SyndromeMemo:
+        if self._memo is None:
+            self._memo = SyndromeMemo()
+        return self._memo
+
+    def decode_batch(
+        self, detector_samples: np.ndarray, *, dedupe: bool = True
+    ) -> np.ndarray:
+        """Observable bitmask per shot for a (shots x detectors) array."""
+        if not dedupe:
+            return np.array(
+                [self.decode(row) for row in detector_samples], dtype=np.int64
+            )
+        return decode_batch_dedup(
+            self.decode, detector_samples, memo=self.syndrome_memo()
+        )
+
+    def logical_failures(
+        self,
+        detector_samples: np.ndarray,
+        observable_samples: np.ndarray,
+        *,
+        dedupe: bool = True,
+    ) -> np.ndarray:
+        """Per-shot bool: did decoding fail to fix observable 0?"""
+        corrections = self.decode_batch(detector_samples, dedupe=dedupe)
+        actual = observable_samples[:, 0].astype(np.int64)
+        predicted = corrections & 1
+        return predicted != actual

@@ -56,6 +56,7 @@ class DetectorGraph:
     _dist: np.ndarray | None = None
     _pred: np.ndarray | None = None
     _adj: dict[int, list[int]] | None = None
+    _pair_obs: dict[tuple[int, int], int] | None = None
 
     @property
     def boundary(self) -> int:
@@ -132,12 +133,47 @@ class DetectorGraph:
         self._dist = dist
         self._pred = pred
 
+    def shortest_paths(self) -> tuple[np.ndarray, np.ndarray]:
+        """The all-pairs ``(dist, pred)`` matrices, computing on demand.
+
+        These are the expensive per-circuit decoder artefact (Dijkstra
+        over every node); the engine's :class:`CompilationCache` stores
+        them on disk and ships them to workers so each is computed at
+        most once per circuit fleet-wide.
+        """
+        self._ensure_shortest_paths()
+        return self._dist, self._pred
+
+    def set_shortest_paths(self, dist: np.ndarray, pred: np.ndarray) -> None:
+        """Inject precomputed ``(dist, pred)`` matrices (cache restore)."""
+        dist = np.asarray(dist, dtype=np.float64)
+        pred = np.asarray(pred)
+        n = self.num_nodes
+        if dist.shape != (n, n) or pred.shape != (n, n):
+            raise ValueError(
+                f"distance matrices must be {(n, n)}, got "
+                f"{dist.shape} / {pred.shape}"
+            )
+        self._dist = dist
+        self._pred = pred
+
     def distance(self, u: int, v: int) -> float:
         self._ensure_shortest_paths()
         return float(self._dist[u, v])
 
     def path_observable_mask(self, u: int, v: int) -> int:
-        """XOR of edge observable masks along the shortest u-v path."""
+        """XOR of edge observable masks along the shortest u-v path.
+
+        Memoised per node pair: matching decoders re-derive the same
+        pair corrections for every syndrome that matches them.
+        """
+        if u > v:
+            u, v = v, u
+        if self._pair_obs is None:
+            self._pair_obs = {}
+        cached = self._pair_obs.get((u, v))
+        if cached is not None:
+            return cached
         self._ensure_shortest_paths()
         edge_obs = self._edge_obs_lookup()
         mask = 0
@@ -148,6 +184,7 @@ class DetectorGraph:
                 raise ValueError(f"nodes {u} and {v} are disconnected")
             mask ^= edge_obs[(min(prev, node), max(prev, node))]
             node = prev
+        self._pair_obs[(u, v)] = mask
         return mask
 
     def path_nodes(self, u: int, v: int) -> list[int]:
@@ -163,12 +200,16 @@ class DetectorGraph:
         return path
 
     def _edge_obs_lookup(self) -> dict[tuple[int, int], int]:
+        lookup = getattr(self, "_edge_obs_memo", None)
+        if lookup is not None:
+            return lookup
         lookup = {}
         for edge in self.edges:
             key = (min(edge.u, edge.v), max(edge.u, edge.v))
             existing = lookup.get(key)
             if existing is None:
                 lookup[key] = edge.observables
+        object.__setattr__(self, "_edge_obs_memo", lookup)
         return lookup
 
     def floor_probability(self) -> float:

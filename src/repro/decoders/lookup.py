@@ -13,9 +13,10 @@ from itertools import combinations
 import numpy as np
 
 from ..sim.dem import DetectorErrorModel
+from .batch import BatchDecoderMixin
 
 
-class LookupDecoder:
+class LookupDecoder(BatchDecoderMixin):
     """Maximum-likelihood-over-small-sets decoder."""
 
     def __init__(self, dem: DetectorErrorModel, max_weight: int = 2):
@@ -51,11 +52,6 @@ class LookupDecoder:
         if entry is None:
             return 0  # unexplainable syndrome: abstain
         return entry[1]
-
-    def decode_batch(self, detector_samples: np.ndarray) -> np.ndarray:
-        return np.array(
-            [self.decode(row) for row in detector_samples], dtype=np.int64
-        )
 
     @property
     def num_syndromes(self) -> int:

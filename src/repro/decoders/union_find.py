@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .batch import BatchDecoderMixin
 from .graph import DetectorGraph
 
 
@@ -41,7 +42,7 @@ class _DisjointSet:
         return ra
 
 
-class UnionFindDecoder:
+class UnionFindDecoder(BatchDecoderMixin):
     """Weighted-growth union-find decoding over a detector graph."""
 
     def __init__(self, graph: DetectorGraph):
@@ -185,15 +186,3 @@ class UnionFindDecoder:
                 if parent != boundary:
                     residual[parent] = residual.get(parent, 0) + 1
         return mask
-
-    def decode_batch(self, detector_samples: np.ndarray) -> np.ndarray:
-        return np.array(
-            [self.decode(row) for row in detector_samples], dtype=np.int64
-        )
-
-    def logical_failures(
-        self, detector_samples: np.ndarray, observable_samples: np.ndarray
-    ) -> np.ndarray:
-        corrections = self.decode_batch(detector_samples)
-        actual = observable_samples[:, 0].astype(np.int64)
-        return (corrections & 1) != actual

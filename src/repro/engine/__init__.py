@@ -6,8 +6,10 @@ The uniform harness behind the paper's figure sweeps:
   (distance x capacity x topology x wiring x noise point x decoder)
   that expands into a deterministic job list (``sweep.py``);
 - :class:`CompilationCache` — content-addressed in-memory + on-disk
-  caching of DEM extraction, detector graphs and decoders, so each
-  unique circuit is compiled exactly once per sweep (``cache.py``);
+  caching of DEM extraction, detector graphs, decoders and decoder-side
+  artefacts (bit-packed DEM samplers, MWPM all-pairs distance
+  matrices), so each unique circuit is compiled exactly once per sweep;
+  the disk layer is LRU-size-bounded via ``max_disk_mb`` (``cache.py``);
 - :class:`Runner` / :func:`run_sweep` with pluggable backends —
   :class:`SerialBackend` and a :class:`MultiprocessBackend` that shards
   shots over workers with independent ``SeedSequence`` streams and

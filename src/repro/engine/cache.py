@@ -1,23 +1,34 @@
 """Content-addressed compilation cache for sweep execution.
 
-DEM extraction and detector-graph construction dominate the fixed cost
-of a Monte-Carlo point, and a sweep revisits the same circuit many
-times (one circuit per design point, shared by every decoder and every
-shot shard).  The cache keys compiled artefacts by a stable hash of
-the circuit *text* — the same serialisation that round-trips through
-:mod:`repro.sim.text_format` — so identical circuits hit regardless of
-how they were built.
+DEM extraction, detector-graph construction and decoder-side artefacts
+dominate the fixed cost of a Monte-Carlo point, and a sweep revisits
+the same circuit many times (one circuit per design point, shared by
+every decoder and every shot shard).  The cache keys compiled artefacts
+by a stable hash of the circuit *text* — the same serialisation that
+round-trips through :mod:`repro.sim.text_format` — so identical
+circuits hit regardless of how they were built.
 
 Two layers:
 
 - in-memory: ``circuit key -> CompiledCircuit`` (DEM + detector graph),
-  plus memoised decoder instances per (circuit, decoder name);
-- on-disk (optional ``cache_dir``): the merged DEM as JSON, so a fresh
-  process — a resumed run, or a multiprocessing worker pool — skips
-  DEM extraction entirely and only rebuilds the cheap graph.
+  plus memoised decoder instances per (circuit, decoder name), the
+  bit-packed :class:`~repro.sim.dem_sampler.DemSampler` per circuit,
+  and the MWPM all-pairs ``(dist, pred)`` matrices per circuit;
+- on-disk (optional ``cache_dir``): both merged DEMs as JSON — the
+  graphlike decoder-side model (``.dem.json``) and the exact
+  sampler-side model (``.sdem.json``) — plus the distance matrices as
+  ``.npz``, so a fresh process — a resumed run, or a multiprocessing
+  worker pool — skips DEM extraction *and* the all-pairs Dijkstra
+  entirely.
 
-Counters (``hits`` / ``misses`` / ``disk_hits``) are exposed so tests
-can assert each unique circuit is compiled exactly once per sweep.
+The on-disk layer can be size-bounded (``max_disk_mb``): after every
+write the least-recently-used entries are evicted until the directory
+fits, and reads refresh an entry's recency, so a long-lived shared
+cache keeps the circuits that sweeps actually revisit.
+
+Counters (``hits`` / ``misses`` / ``disk_hits`` / ``dmat_disk_hits`` /
+``evictions``) are exposed so tests can assert each unique circuit is
+compiled exactly once per sweep.
 """
 
 from __future__ import annotations
@@ -27,10 +38,18 @@ import json
 import os
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..decoders.graph import DetectorGraph
 from ..ler.estimator import make_decoder
 from ..sim.circuit import StabilizerCircuit
-from ..sim.dem import DemError, DetectorErrorModel, circuit_to_dem
+from ..sim.dem import DemError, DetectorErrorModel, circuit_to_dems
+from ..sim.dem_sampler import DemSampler
+
+# Disk-cache entry suffixes, in eviction scope: the graphlike
+# (decoder-side) DEM, the exact (sampler-side) DEM, and the MWPM
+# all-pairs distance matrices.
+_DISK_SUFFIXES = (".dem.json", ".sdem.json", ".dmat.npz")
 
 
 def circuit_key(text: str) -> str:
@@ -65,29 +84,48 @@ def dem_from_jsonable(data: dict) -> DetectorErrorModel:
 
 @dataclass
 class CompiledCircuit:
-    """One circuit's cached compilation artefacts."""
+    """One circuit's cached compilation artefacts.
+
+    ``dem`` is the graphlike (decomposed) model the decoders consume;
+    ``sampling_dem`` is the exact (undecomposed) model the DEM-direct
+    sampler draws from — splitting hyperedges before sampling would
+    decorrelate detector flips that co-occur physically.
+    """
 
     key: str
     circuit: StabilizerCircuit
     text: str
     dem: DetectorErrorModel
+    sampling_dem: DetectorErrorModel
     graph: DetectorGraph
 
 
 @dataclass
 class CompilationCache:
-    """In-memory + on-disk cache of DEMs, detector graphs and decoders."""
+    """In-memory + on-disk cache of DEMs, graphs, decoders and
+    decoder-side artefacts (DEM samplers, MWPM distance matrices)."""
 
     cache_dir: str | None = None
+    # On-disk size bound in megabytes (None = unbounded).  Enforced by
+    # LRU eviction over the cache files after every write.
+    max_disk_mb: float | None = None
 
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
+    dmat_disk_hits: int = 0
+    evictions: int = 0
 
     _compiled: dict[str, CompiledCircuit] = field(default_factory=dict, repr=False)
     _decoders: dict[tuple[str, str], object] = field(default_factory=dict, repr=False)
+    _samplers: dict[str, DemSampler] = field(default_factory=dict, repr=False)
+    _dmats: dict[str, tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self):
+        if self.max_disk_mb is not None and self.max_disk_mb <= 0:
+            raise ValueError("max_disk_mb must be positive (or None)")
         if self.cache_dir:
             os.makedirs(self.cache_dir, exist_ok=True)
 
@@ -101,18 +139,21 @@ class CompilationCache:
         if entry is not None:
             self.hits += 1
             return entry
-        dem = self._load_dem(key)
-        if dem is not None:
+        dem = self._load_dem(key, ".dem.json")
+        sampling_dem = self._load_dem(key, ".sdem.json")
+        if dem is not None and sampling_dem is not None:
             self.disk_hits += 1
         else:
             self.misses += 1
-            dem = circuit_to_dem(circuit)
-            self._store_dem(key, dem)
+            sampling_dem, dem = circuit_to_dems(circuit)
+            self._store_dem(key, ".dem.json", dem)
+            self._store_dem(key, ".sdem.json", sampling_dem)
         entry = CompiledCircuit(
             key=key,
             circuit=circuit,
             text=text,
             dem=dem,
+            sampling_dem=sampling_dem,
             graph=DetectorGraph.from_dem(dem),
         )
         self._compiled[key] = entry
@@ -123,9 +164,52 @@ class CompilationCache:
         memo_key = (compiled.key, name)
         dec = self._decoders.get(memo_key)
         if dec is None:
+            if name == "mwpm":
+                # Prime the graph with the cached all-pairs matrices so
+                # decoder construction never recomputes the Dijkstra.
+                self.distance_matrix(compiled)
             dec = make_decoder(compiled.graph, name)
             self._decoders[memo_key] = dec
         return dec
+
+    def dem_sampler(self, compiled: CompiledCircuit) -> DemSampler:
+        """The bit-packed DEM-direct sampler, compiled at most once.
+
+        Built from the *exact* DEM: correlations between the detectors
+        of one mechanism are physical and must survive sampling.
+        """
+        sampler = self._samplers.get(compiled.key)
+        if sampler is None:
+            sampler = DemSampler(compiled.sampling_dem)
+            self._samplers[compiled.key] = sampler
+        return sampler
+
+    def distance_matrix(
+        self, compiled: CompiledCircuit
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The MWPM ``(dist, pred)`` all-pairs matrices for ``compiled``.
+
+        Memory, then disk, then one Dijkstra — and the result is
+        injected into the compiled detector graph, so every decoder
+        built on it shares the same arrays.
+        """
+        entry = self._dmats.get(compiled.key)
+        if entry is None:
+            entry = self._load_dmat(compiled.key, compiled.graph.num_nodes)
+            if entry is not None:
+                self.dmat_disk_hits += 1
+                compiled.graph.set_shortest_paths(*entry)
+            else:
+                entry = compiled.graph.shortest_paths()
+                self._store_dmat(compiled.key, *entry)
+            self._dmats[compiled.key] = entry
+        return entry
+
+    def peek_distance_matrix(
+        self, key: str
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Already-materialised matrices for ``key``, without computing."""
+        return self._dmats.get(key)
 
     # ------------------------------------------------------------------
     @property
@@ -137,30 +221,98 @@ class CompilationCache:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "dmat_disk_hits": self.dmat_disk_hits,
+            "evictions": self.evictions,
             "unique_circuits": self.unique_circuits,
         }
 
     # ------------------------------------------------------------------
-    def _dem_path(self, key: str) -> str | None:
+    def _entry_path(self, key: str, suffix: str) -> str | None:
         if not self.cache_dir:
             return None
-        return os.path.join(self.cache_dir, f"{key}.dem.json")
+        return os.path.join(self.cache_dir, f"{key}{suffix}")
 
-    def _load_dem(self, key: str) -> DetectorErrorModel | None:
-        path = self._dem_path(key)
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh an entry's recency so LRU eviction spares it."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _load_dem(self, key: str, suffix: str) -> DetectorErrorModel | None:
+        path = self._entry_path(key, suffix)
         if path is None or not os.path.exists(path):
             return None
         try:
             with open(path) as fh:
-                return dem_from_jsonable(json.load(fh))
+                dem = dem_from_jsonable(json.load(fh))
         except (OSError, ValueError, KeyError):
             return None  # corrupt entry: fall through to recompilation
+        self._touch(path)
+        return dem
 
-    def _store_dem(self, key: str, dem: DetectorErrorModel) -> None:
-        path = self._dem_path(key)
+    def _store_dem(self, key: str, suffix: str, dem: DetectorErrorModel) -> None:
+        path = self._entry_path(key, suffix)
         if path is None:
             return
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w") as fh:
             json.dump(dem_to_jsonable(dem), fh)
         os.replace(tmp, path)
+        self._evict()
+
+    def _load_dmat(
+        self, key: str, num_nodes: int
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        path = self._entry_path(key, ".dmat.npz")
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as payload:
+                dist = payload["dist"]
+                pred = payload["pred"]
+        except (OSError, ValueError, KeyError):
+            return None  # corrupt entry: fall through to recomputation
+        shape = (num_nodes, num_nodes)
+        if dist.shape != shape or pred.shape != shape:
+            return None  # stale/inconsistent entry: recompute
+        self._touch(path)
+        return dist, pred
+
+    def _store_dmat(self, key: str, dist: np.ndarray, pred: np.ndarray) -> None:
+        path = self._entry_path(key, ".dmat.npz")
+        if path is None:
+            return
+        tmp = f"{path}.tmp.{os.getpid()}.npz"
+        with open(tmp, "wb") as fh:
+            np.savez(fh, dist=dist, pred=pred)
+        os.replace(tmp, path)
+        self._evict()
+
+    def _evict(self) -> None:
+        """Drop least-recently-used disk entries until under the bound."""
+        if not self.cache_dir or self.max_disk_mb is None:
+            return
+        entries = []
+        for name in os.listdir(self.cache_dir):
+            if not name.endswith(_DISK_SUFFIXES):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((st.st_mtime_ns, st.st_size, path))
+        budget = int(self.max_disk_mb * 1024 * 1024)
+        total = sum(size for _, size, _ in entries)
+        entries.sort()  # oldest first
+        for _, size, path in entries:
+            if total <= budget:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1

@@ -9,8 +9,9 @@ Monte-Carlo sampling through the cross-job shard scheduler
 - :class:`SerialBackend` runs every shot shard in-process;
 - :class:`MultiprocessBackend` fans shards out over worker processes
   with per-worker task queues, priming each worker at most once per
-  unique circuit — shard messages carry only ``(circuit key, decoder,
-  shots, seed)``, never the circuit text or the DEM payload.
+  unique circuit (circuit text, both DEM payloads, MWPM distance
+  matrices) — shard messages carry only ``(circuit key, decoder,
+  sampler, shots, seed)``, never the circuit text or a DEM payload.
 
 Both consume the *same* shard plan: a job's shots are split into
 fixed-size shards, and shard ``i`` samples from an independent RNG
@@ -45,6 +46,7 @@ from ..decoders.graph import DetectorGraph
 from ..ler.estimator import make_decoder
 from ..noise.parameters import DEFAULT_NOISE, NoiseParameters
 from ..sim.circuit import StabilizerCircuit
+from ..sim.dem_sampler import DemSampler
 from ..sim.frame import FrameSimulator
 from ..sim.text_format import circuit_from_text
 from .cache import CompilationCache, CompiledCircuit, dem_from_jsonable, dem_to_jsonable
@@ -97,10 +99,22 @@ def plan_shards(
 
 
 def sample_shard(
-    circuit: StabilizerCircuit, decoder, shard: Shard
+    circuit: StabilizerCircuit,
+    decoder,
+    shard: Shard,
+    sampler: DemSampler | None = None,
 ) -> int:
-    """Sample one shard and count its logical failures."""
-    sample = FrameSimulator(circuit, seed=shard.seed).sample(shard.shots)
+    """Sample one shard and count its logical failures.
+
+    With a :class:`DemSampler` the shard draws syndromes straight from
+    the bit-packed DEM (fast path); without one it replays the circuit
+    through the :class:`FrameSimulator` (reference path).  Either way
+    the shard's ``SeedSequence`` fully determines the draw.
+    """
+    if sampler is not None:
+        sample = sampler.sample(shard.shots, seed=shard.seed)
+    else:
+        sample = FrameSimulator(circuit, seed=shard.seed).sample(shard.shots)
     return int(decoder.logical_failures(sample.detectors, sample.observables).sum())
 
 
@@ -143,8 +157,11 @@ class SerialBackend:
     ) -> None:
         t0 = time.perf_counter()
         decoder = cache.decoder(compiled, task.decoder)
+        sampler = cache.dem_sampler(compiled) if task.sampler == "dem" else None
         failures = sample_shard(
-            compiled.circuit, decoder, Shard(task.shard_index, task.shots, task.seed)
+            compiled.circuit, decoder,
+            Shard(task.shard_index, task.shots, task.seed),
+            sampler=sampler,
         )
         self._outcomes.append(
             ShardOutcome(
@@ -181,23 +198,40 @@ def _worker_main(task_queue, result_queue) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     circuits: dict[str, tuple] = {}
     decoders: dict[tuple[str, str], object] = {}
+    samplers: dict[str, DemSampler] = {}
     while True:
         message = task_queue.get()
         kind = message[0]
         if kind == "stop":
             break
         if kind == "prime":
-            _, circuit_key, circuit_text, dem_data, epoch = message
+            _, circuit_key, circuit_text, dem_data, sdem_data, dmat, epoch = message
             try:
                 circuit = circuit_from_text(circuit_text)
                 graph = DetectorGraph.from_dem(dem_from_jsonable(dem_data))
-                circuits[circuit_key] = (circuit, graph)
+                if dmat is not None:
+                    # Parent-cached all-pairs matrices: the worker's
+                    # MWPM decoder skips its own Dijkstra.
+                    graph.set_shortest_paths(*dmat)
+                sampling_dem = dem_from_jsonable(sdem_data)
+                circuits[circuit_key] = (circuit, graph, sampling_dem)
             except BaseException:
                 result_queue.put(
                     ("error", None, traceback.format_exc(), 0.0, epoch)
                 )
             continue
-        _, seq, circuit_key, decoder_name, shots, seed, epoch = message
+        if kind == "dmat":
+            # Late distance-matrix delivery: the circuit was primed by a
+            # non-MWPM shard, and an MWPM shard is now on its way.
+            _, circuit_key, dmat, epoch = message
+            entry = circuits.get(circuit_key)
+            if entry is not None and (circuit_key, "mwpm") not in decoders:
+                try:
+                    entry[1].set_shortest_paths(*dmat)
+                except ValueError:
+                    pass  # shape mismatch: let the decoder compute its own
+            continue
+        _, seq, circuit_key, decoder_name, sampler_name, shots, seed, epoch = message
         try:
             t0 = time.perf_counter()
             entry = circuits.get(circuit_key)
@@ -206,12 +240,20 @@ def _worker_main(task_queue, result_queue) -> None:
                     f"shard for unprimed circuit {circuit_key[:12]}…: "
                     "priming protocol violated"
                 )
-            circuit, graph = entry
+            circuit, graph, sampling_dem = entry
             decoder = decoders.get((circuit_key, decoder_name))
             if decoder is None:
                 decoder = make_decoder(graph, decoder_name)
                 decoders[(circuit_key, decoder_name)] = decoder
-            failures = sample_shard(circuit, decoder, Shard(0, shots, seed))
+            sampler = None
+            if sampler_name == "dem":
+                sampler = samplers.get(circuit_key)
+                if sampler is None:
+                    sampler = DemSampler(sampling_dem)
+                    samplers[circuit_key] = sampler
+            failures = sample_shard(
+                circuit, decoder, Shard(0, shots, seed), sampler=sampler
+            )
             result_queue.put(
                 ("ok", seq, failures, time.perf_counter() - t0, epoch)
             )
@@ -225,7 +267,8 @@ class MultiprocessBackend:
     Unlike a ``Pool``, the parent controls exactly which worker runs
     which shard, so it can *prime* each worker with a circuit's text
     and DEM payload at most once (``prime`` message) and afterwards
-    send only tiny ``(key, decoder, shots, seed)`` shard messages.
+    send only tiny ``(key, decoder, sampler, shots, seed)`` shard
+    messages.
     Results stream back over a shared queue that the parent polls with
     an interruptible timed wait — SIGINT reaches the parent promptly
     instead of languishing behind a blocking ``pool.map``.
@@ -252,6 +295,9 @@ class MultiprocessBackend:
         self._result_queue = None
         self._load: list[int] = []
         self._primed: set[tuple[int, str]] = set()
+        # (worker, circuit) pairs whose prime included the MWPM
+        # distance matrices (or received them in a late "dmat" send).
+        self._dmat_primed: set[tuple[int, str]] = set()
         self._dem_json: dict[str, dict] = {}
         # task seq -> (worker index, job key, shots)
         self._dispatch: dict[int, tuple[int, str, int]] = {}
@@ -295,16 +341,31 @@ class MultiprocessBackend:
     ) -> None:
         self._ensure_workers()
         worker = self._pick_worker(task.circuit_key)
-        if (worker, task.circuit_key) not in self._primed:
-            dem_data = self._dem_json.get(task.circuit_key)
-            if dem_data is None:
-                dem_data = dem_to_jsonable(compiled.dem)
-                self._dem_json[task.circuit_key] = dem_data
+        pair = (worker, task.circuit_key)
+        if pair not in self._primed:
+            payload = self._dem_json.get(task.circuit_key)
+            if payload is None:
+                payload = (
+                    dem_to_jsonable(compiled.dem),
+                    dem_to_jsonable(compiled.sampling_dem),
+                )
+                self._dem_json[task.circuit_key] = payload
+            dem_data, sdem_data = payload
+            # MWPM needs the all-pairs distance matrices; computing (or
+            # disk-loading) them once in the parent and shipping them
+            # in the prime saves one Dijkstra per (worker, circuit).
+            if task.decoder == "mwpm":
+                dmat = cache.distance_matrix(compiled)
+            else:
+                dmat = cache.peek_distance_matrix(task.circuit_key)
             self._send(
                 worker,
-                ("prime", task.circuit_key, compiled.text, dem_data, self._epoch),
+                ("prime", task.circuit_key, compiled.text, dem_data, sdem_data,
+                 dmat, self._epoch),
             )
-            self._primed.add((worker, task.circuit_key))
+            self._primed.add(pair)
+            if dmat is not None:
+                self._dmat_primed.add(pair)
             if all(
                 (w, task.circuit_key) in self._primed
                 for w in range(len(self._procs))
@@ -312,10 +373,20 @@ class MultiprocessBackend:
                 # Every worker holds this circuit now; the serialized
                 # DEM can never be sent again, so stop retaining it.
                 self._dem_json.pop(task.circuit_key, None)
+        elif task.decoder == "mwpm" and pair not in self._dmat_primed:
+            # The circuit was primed by a non-MWPM shard, without the
+            # distance matrices; deliver them before the MWPM shard so
+            # the worker never recomputes the Dijkstra.
+            self._send(
+                worker,
+                ("dmat", task.circuit_key, cache.distance_matrix(compiled),
+                 self._epoch),
+            )
+            self._dmat_primed.add(pair)
         self._send(
             worker,
-            ("shard", task.seq, task.circuit_key, task.decoder, task.shots,
-             task.seed, self._epoch),
+            ("shard", task.seq, task.circuit_key, task.decoder, task.sampler,
+             task.shots, task.seed, self._epoch),
         )
         self._load[worker] += 1
         self._dispatch[task.seq] = (worker, task.job_key, task.shots)
@@ -426,6 +497,7 @@ class MultiprocessBackend:
         self._result_queue = None
         self._load = []
         self._primed = set()
+        self._dmat_primed = set()
         self._dem_json = {}
         self._dispatch = {}
 
@@ -526,6 +598,7 @@ class Runner:
         workers: int = 0,
         cache: CompilationCache | None = None,
         cache_dir: str | None = None,
+        cache_max_mb: float | None = None,
         store: ResultStore | None = None,
         results_path: str | None = None,
         noise: NoiseParameters | None = None,
@@ -540,7 +613,10 @@ class Runner:
                 else SerialBackend()
             )
         self.backend = backend
-        self.cache = cache if cache is not None else CompilationCache(cache_dir)
+        self.cache = (
+            cache if cache is not None
+            else CompilationCache(cache_dir, max_disk_mb=cache_max_mb)
+        )
         if store is None and results_path:
             store = ResultStore(results_path)
         self.store = store
@@ -624,6 +700,7 @@ class Runner:
             compiled=compiled,
             decoder=job.decoder,
             plan=plan,
+            sampler=job.sampler,
             target_failures=job.target_failures,
             tranche_shards=tranche,
             payload=(job, artifacts, setup_s),
@@ -720,6 +797,7 @@ def sample_adaptive(
     seed: int | None = None,
     backend=None,
     cache: CompilationCache | None = None,
+    sampler: str = "dem",
 ) -> tuple[int, int]:
     """Sample ``circuit`` until ``target_failures`` failures or the
     ``max_shots`` budget, whichever comes first.
@@ -745,6 +823,7 @@ def sample_adaptive(
         compiled=compiled,
         decoder=decoder,
         plan=plan,
+        sampler=sampler,
         target_failures=target_failures,
         tranche_shards=len(plan),
     )

@@ -51,6 +51,9 @@ class ShardTask:
     shots: int
     seed: np.random.SeedSequence
     shard_index: int
+    # Which syndrome sampler runs the shard: "dem" (bit-packed
+    # DEM-direct fast path) or "frame" (gate-by-gate circuit replay).
+    sampler: str = "dem"
 
 
 @dataclass(frozen=True)
@@ -80,7 +83,7 @@ class JobState:
     """
 
     __slots__ = (
-        "key", "compiled", "decoder", "plan", "target_failures",
+        "key", "compiled", "decoder", "sampler", "plan", "target_failures",
         "tranche_shards", "payload", "next_index", "inflight",
         "shots_done", "failures", "shots_submitted", "work_s",
     )
@@ -92,6 +95,7 @@ class JobState:
         decoder: str,
         plan: list,
         *,
+        sampler: str = "dem",
         target_failures: int | None = None,
         tranche_shards: int | None = None,
         payload=None,
@@ -99,6 +103,7 @@ class JobState:
         self.key = key
         self.compiled = compiled
         self.decoder = decoder
+        self.sampler = sampler
         self.plan = plan
         self.target_failures = target_failures
         self.tranche_shards = (
@@ -228,6 +233,7 @@ class StreamScheduler:
                 shots=shard.shots,
                 seed=shard.seed,
                 shard_index=shard.index,
+                sampler=state.sampler,
             )
             self._seq += 1
             state.next_index += 1

@@ -20,6 +20,7 @@ _CODES = ("rotated_surface", "unrotated_surface", "repetition")
 _TOPOLOGIES = ("grid", "linear", "switch")
 _WIRINGS = ("standard", "wise")
 _DECODERS = ("mwpm", "union_find")
+_SAMPLERS = ("dem", "frame")
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,13 @@ class SweepJob:
     # it has.  ``None`` means classic fixed-shot sampling.
     target_failures: int | None = None
     max_shots: int | None = None
+    # Syndrome sampler: "dem" draws shots directly from the compiled
+    # detector error model (bit-packed fast path); "frame" replays the
+    # noisy circuit gate-by-gate (the exact reference, and the only
+    # mode that existed before the fast path — its keys and shard RNG
+    # streams are unchanged, so stored results resume and the sampled
+    # syndromes are bit-identical to pre-fast-path sweeps).
+    sampler: str = "dem"
 
     @property
     def adaptive(self) -> bool:
@@ -80,13 +88,17 @@ class SweepJob:
     def key(self) -> str:
         """Stable, human-scannable identity: label prefix + content hash.
 
-        Fixed-shot jobs hash exactly the fields they had before the
-        adaptive mode existed: their keys (and hence their shard RNG
-        streams and stored results) are unchanged by the feature.
+        Each sampling mode hashes exactly the fields it had when it was
+        introduced: fixed-shot frame jobs hash the original field set
+        (no adaptive fields, no sampler field), so their keys — and
+        hence their shard RNG streams and stored results — carry over
+        unchanged from every release before the DEM-direct fast path.
         """
         content = asdict(self)
         if not self.adaptive:
             del content["target_failures"], content["max_shots"]
+        if self.sampler == "frame":
+            del content["sampler"]
         payload = json.dumps(content, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(payload.encode()).hexdigest()[:12]
         budget = f"n{self.shots}"
@@ -104,6 +116,10 @@ class SweepJob:
     @classmethod
     def from_dict(cls, data: dict) -> "SweepJob":
         names = {f.name for f in fields(cls)}
+        # Stores written before the DEM-direct fast path carry no
+        # sampler field; those experiments were frame-sampled.
+        data = dict(data)
+        data.setdefault("sampler", "frame")
         return cls(**{k: v for k, v in data.items() if k in names})
 
 
@@ -136,6 +152,10 @@ class SweepSpec:
     # ``max_shots`` defaults to 100 tranches when left unset.
     target_failures: int | None = None
     max_shots: int | None = None
+    # "dem" (default) samples syndromes straight from the compiled
+    # detector error model; "frame" opts back into gate-by-gate
+    # circuit replay with pre-fast-path keys and shard RNG streams.
+    sampler: str = "dem"
 
     def __post_init__(self):
         for name in ("distances", "capacities", "topologies", "wirings",
@@ -158,6 +178,9 @@ class SweepSpec:
             if dec not in _DECODERS:
                 raise ValueError(
                     f"unknown decoder {dec!r}; expected one of {_DECODERS}")
+        if self.sampler not in _SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; expected one of {_SAMPLERS}")
         if any(d < 2 for d in self.distances):
             raise ValueError("distances must be >= 2")
         if any(c < 1 for c in self.capacities):
@@ -208,5 +231,6 @@ class SweepSpec:
                                     basis=self.basis,
                                     target_failures=self.target_failures,
                                     max_shots=self.max_shots,
+                                    sampler=self.sampler,
                                 ))
         return jobs

@@ -88,6 +88,7 @@ def estimate_until_failures(
     decoder: str = "mwpm",
     seed: int | None = None,
     backend=None,
+    sampler: str = "dem",
 ) -> LerResult:
     """Adaptive estimation: sample in batches until enough failures.
 
@@ -98,7 +99,9 @@ def estimate_until_failures(
     spawned from ``seed``), stopping at ``min_failures`` observed
     failures or at the ``max_shots`` budget, whichever comes first.
     Pass an engine backend (e.g. ``MultiprocessBackend``) to fan the
-    shards out over workers.
+    shards out over workers.  ``sampler="dem"`` (default) draws
+    syndromes straight from the compiled detector error model;
+    ``sampler="frame"`` opts back into gate-by-gate circuit replay.
     """
     if min_failures < 1:
         raise ValueError("min_failures must be positive")
@@ -114,6 +117,7 @@ def estimate_until_failures(
         shard_shots=batch,
         seed=seed,
         backend=backend,
+        sampler=sampler,
     )
     return LerResult(shots=shots, failures=failures, rounds=rounds)
 

@@ -8,10 +8,13 @@ Public surface:
 - :class:`TableauSimulator` — exact Aaronson-Gottesman simulation.
 - :class:`FrameSimulator` — vectorised Pauli-frame sampling.
 - :func:`circuit_to_dem` — detector-error-model extraction.
+- :class:`DemSampler` — bit-packed DEM-direct syndrome sampling (the
+  fast path; the frame simulator is its reference oracle).
 """
 
 from .circuit import Instruction, StabilizerCircuit
-from .dem import DemError, DetectorErrorModel, circuit_to_dem
+from .dem import DemError, DetectorErrorModel, circuit_to_dem, circuit_to_dems
+from .dem_sampler import DemSampler, pack_bool_rows, unpack_bool_rows
 from .frame import FrameSimulator, FrameState, SampleResult
 from .pauli import PauliString
 from .tableau import TableauSimulator
@@ -32,6 +35,10 @@ __all__ = [
     "DemError",
     "DetectorErrorModel",
     "circuit_to_dem",
+    "circuit_to_dems",
+    "DemSampler",
+    "pack_bool_rows",
+    "unpack_bool_rows",
     "FrameSimulator",
     "FrameState",
     "SampleResult",

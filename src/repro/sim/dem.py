@@ -212,18 +212,30 @@ def _symptoms(det_row: np.ndarray, obs_row: np.ndarray) -> tuple[tuple[int, ...]
     return tuple(np.flatnonzero(det_row)), tuple(np.flatnonzero(obs_row))
 
 
-def circuit_to_dem(circuit: StabilizerCircuit, *, decompose: bool = True) -> DetectorErrorModel:
-    """Extract the detector error model of a noisy circuit.
+def circuit_to_dems(
+    circuit: StabilizerCircuit,
+) -> tuple[DetectorErrorModel, DetectorErrorModel]:
+    """Extract both DEM flavours of a noisy circuit in one pass.
 
-    With ``decompose=True``, mechanisms flipping more than two detectors
-    are split into their X-part and Z-part (each graphlike for CSS
-    circuits); parts keep the full mechanism probability, the standard
-    independence approximation made by matching decoders.
+    Returns ``(exact, graphlike)``:
+
+    - ``exact`` keeps every mechanism's full symptom set, hyperedges
+      included — the model to *sample* from (``DemSampler``), since
+      splitting a mechanism would decorrelate detector flips that fire
+      together physically;
+    - ``graphlike`` splits mechanisms flipping more than two detectors
+      into their X-part and Z-part (each graphlike for CSS circuits);
+      parts keep the full mechanism probability, the standard
+      independence approximation made by *matching decoders*.
+
+    The expensive batched propagation of all mechanisms is shared; only
+    the hyperedge parts are re-propagated for the graphlike model.
     """
     mechanisms = _enumerate_mechanisms(circuit)
-    model = DetectorErrorModel(circuit.num_detectors, circuit.num_observables)
+    exact = DetectorErrorModel(circuit.num_detectors, circuit.num_observables)
+    graphlike = DetectorErrorModel(circuit.num_detectors, circuit.num_observables)
     if not mechanisms:
-        return model
+        return exact, graphlike
 
     det_flips, obs_flips = _propagate(
         circuit, mechanisms, [mech.injections for mech in mechanisms]
@@ -233,12 +245,13 @@ def circuit_to_dem(circuit: StabilizerCircuit, *, decompose: bool = True) -> Det
         dets, obs = _symptoms(det_flips[row], obs_flips[row])
         if not dets and not obs:
             continue
-        if len(dets) <= 2 or not decompose:
-            model.errors.append(DemError(dets, obs, mech.probability))
+        exact.errors.append(DemError(dets, obs, mech.probability))
+        if len(dets) <= 2:
+            graphlike.errors.append(DemError(dets, obs, mech.probability))
         else:
             hyper_rows.append(row)
 
-    if hyper_rows and decompose:
+    if hyper_rows:
         # Re-propagate the X-part and Z-part of each hyperedge mechanism.
         parts: list[_Mechanism] = []
         part_injections: list[tuple[tuple[int, bool, bool], ...]] = []
@@ -256,13 +269,27 @@ def circuit_to_dem(circuit: StabilizerCircuit, *, decompose: bool = True) -> Det
             if not dets and not obs:
                 continue
             if len(dets) <= 2:
-                model.errors.append(DemError(dets, obs, mech.probability))
+                graphlike.errors.append(DemError(dets, obs, mech.probability))
             else:
                 # Last resort: chain-pair detectors in index order.
                 ordered = list(dets)
                 pieces = [tuple(ordered[i:i + 2]) for i in range(0, len(ordered), 2)]
                 for i, piece in enumerate(pieces):
-                    model.errors.append(
+                    graphlike.errors.append(
                         DemError(piece, obs if i == 0 else (), mech.probability)
                     )
-    return model.merged()
+    return exact.merged(), graphlike.merged()
+
+
+def circuit_to_dem(circuit: StabilizerCircuit, *, decompose: bool = True) -> DetectorErrorModel:
+    """Extract the detector error model of a noisy circuit.
+
+    With ``decompose=True``, mechanisms flipping more than two detectors
+    are split into their X-part and Z-part (each graphlike for CSS
+    circuits); parts keep the full mechanism probability, the standard
+    independence approximation made by matching decoders.  See
+    :func:`circuit_to_dems` to obtain both flavours from one
+    propagation pass.
+    """
+    exact, graphlike = circuit_to_dems(circuit)
+    return graphlike if decompose else exact

@@ -118,12 +118,14 @@ def cmd_sweep(args) -> int:
         master_seed=args.seed,
         target_failures=args.target_failures,
         max_shots=args.max_shots,
+        sampler=args.sampler,
     )
     explorer = DesignSpaceExplorer(code_name=args.code, seed=args.seed)
     records = explorer.sweep(
         spec,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
         results_path=args.results,
         shard_shots=args.shard_shots,
         progress=args.progress,
@@ -200,7 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSONL result store; completed jobs are "
                               "skipped on re-run")
     p_sweep.add_argument("--cache-dir", default=None, metavar="DIR",
-                         help="on-disk DEM cache shared across runs")
+                         help="on-disk DEM / distance-matrix cache shared "
+                              "across runs")
+    p_sweep.add_argument("--cache-max-mb", type=float, default=None,
+                         metavar="MB",
+                         help="size bound for --cache-dir; least-recently-"
+                              "used entries are evicted past it")
+    p_sweep.add_argument("--sampler", default="dem",
+                         choices=["dem", "frame"],
+                         help="syndrome sampler: 'dem' = bit-packed DEM-"
+                              "direct fast path, 'frame' = gate-by-gate "
+                              "circuit replay (pre-fast-path keys and "
+                              "shard RNG streams)")
     p_sweep.add_argument("--progress", action="store_true",
                          help="per-job progress lines on stderr")
     _add_common(p_sweep)

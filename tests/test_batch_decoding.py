@@ -1,0 +1,126 @@
+"""Deduplicated batch decoding: exactness, memoisation, mixin sharing."""
+
+import numpy as np
+import pytest
+
+from repro.codes import RepetitionCode, UniformNoise, ideal_memory_circuit
+from repro.decoders import (
+    BatchDecoderMixin,
+    DetectorGraph,
+    LookupDecoder,
+    MwpmDecoder,
+    SyndromeMemo,
+    UnionFindDecoder,
+    decode_batch_dedup,
+)
+from repro.sim import FrameSimulator, circuit_to_dem
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circ = ideal_memory_circuit(
+        RepetitionCode(3), rounds=3, noise=UniformNoise(0.01)
+    )
+    dem = circuit_to_dem(circ)
+    graph = DetectorGraph.from_dem(dem)
+    sample = FrameSimulator(circ, seed=42).sample(2000)
+    return dem, graph, sample
+
+
+def _decoders(dem, graph):
+    return [
+        MwpmDecoder(graph),
+        UnionFindDecoder(graph),
+        LookupDecoder(dem, max_weight=2),
+    ]
+
+
+class TestDedupeExactness:
+    def test_dedupe_matches_per_shot_decoding(self, setup):
+        dem, graph, sample = setup
+        for decoder in _decoders(dem, graph):
+            fast = decoder.decode_batch(sample.detectors, dedupe=True)
+            slow = decoder.decode_batch(sample.detectors, dedupe=False)
+            assert np.array_equal(fast, slow), type(decoder).__name__
+
+    def test_logical_failures_identical_with_dedupe_on_off(self, setup):
+        dem, graph, sample = setup
+        for decoder in _decoders(dem, graph):
+            on = decoder.logical_failures(
+                sample.detectors, sample.observables, dedupe=True
+            )
+            off = decoder.logical_failures(
+                sample.detectors, sample.observables, dedupe=False
+            )
+            assert np.array_equal(on, off), type(decoder).__name__
+
+    def test_single_row_batch(self, setup):
+        dem, graph, sample = setup
+        decoder = MwpmDecoder(graph)
+        row = sample.detectors[:1]
+        assert decoder.decode_batch(row).tolist() == [decoder.decode(row[0])]
+
+
+class TestSyndromeMemo:
+    def test_memo_carries_across_batches(self, setup):
+        dem, graph, sample = setup
+        decoder = MwpmDecoder(graph)
+        first = decoder.decode_batch(sample.detectors[:1000])
+        memo = decoder.syndrome_memo()
+        distinct = len(memo)
+        assert distinct > 0 and memo.misses == distinct and memo.hits == 0
+        # Second batch over the same shots: every syndrome is a hit.
+        second = decoder.decode_batch(sample.detectors[:1000])
+        assert np.array_equal(first, second)
+        assert len(memo) == distinct
+        assert memo.hits == distinct
+
+    def test_each_distinct_syndrome_decoded_once(self, setup):
+        dem, graph, sample = setup
+        calls = 0
+
+        def counting_decode(row):
+            nonlocal calls
+            calls += 1
+            return 0
+
+        batch = sample.detectors[:1000]
+        distinct = len(np.unique(np.packbits(batch, axis=1), axis=0))
+        memo = SyndromeMemo()
+        decode_batch_dedup(counting_decode, batch, memo=memo)
+        assert calls == distinct
+        decode_batch_dedup(counting_decode, batch, memo=memo)
+        assert calls == distinct  # all hits the second time
+
+    def test_memo_limit_stops_insertion_not_decoding(self):
+        memo = SyndromeMemo(limit=2)
+        rows = np.eye(8, dtype=bool)
+        out = decode_batch_dedup(lambda row: int(row.argmax()), rows, memo=memo)
+        assert out.tolist() == list(range(8))
+        assert len(memo) == 2
+
+    def test_scatter_restores_shot_order(self):
+        rows = np.array(
+            [[1, 0], [0, 1], [1, 0], [0, 0], [0, 1]], dtype=bool
+        )
+        out = decode_batch_dedup(lambda row: int(2 * row[0] + row[1]), rows)
+        assert out.tolist() == [2, 1, 2, 0, 1]
+
+
+class TestMixinSharing:
+    def test_single_logical_failures_implementation(self):
+        # The reduction must live on the mixin, not be re-copied per
+        # decoder class.
+        for cls in (MwpmDecoder, UnionFindDecoder, LookupDecoder):
+            assert issubclass(cls, BatchDecoderMixin)
+            assert "logical_failures" not in cls.__dict__
+            assert "decode_batch" not in cls.__dict__
+        assert "logical_failures" in BatchDecoderMixin.__dict__
+
+    def test_lookup_decoder_gained_logical_failures(self, setup):
+        dem, graph, sample = setup
+        lookup = LookupDecoder(dem, max_weight=2)
+        fails = lookup.logical_failures(
+            sample.detectors[:200], sample.observables[:200]
+        )
+        assert fails.dtype == bool and fails.shape == (200,)

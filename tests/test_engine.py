@@ -184,7 +184,10 @@ class TestCompilationCache:
         first = CompilationCache(cache_dir=str(tmp_path))
         run_sweep(spec, cache=first, shard_shots=SHARD)
         assert first.misses == 1
-        assert len(os.listdir(tmp_path)) == 1
+        # Decoder-side DEM, sampler-side DEM, MWPM distance matrices.
+        assert sorted(n.split(".", 1)[1] for n in os.listdir(tmp_path)) == [
+            "dem.json", "dmat.npz", "sdem.json",
+        ]
         fresh = CompilationCache(cache_dir=str(tmp_path))
         results = run_sweep(spec, cache=fresh, shard_shots=SHARD)
         assert fresh.misses == 0
@@ -200,7 +203,7 @@ class TestCompilationCache:
     def test_corrupt_disk_entry_recompiles(self, tmp_path):
         spec = small_spec(distances=(2,))
         run_sweep(spec, cache=CompilationCache(str(tmp_path)), shard_shots=SHARD)
-        [entry] = os.listdir(tmp_path)
+        [entry] = [n for n in os.listdir(tmp_path) if n.endswith(".dem.json")]
         (tmp_path / entry).write_text("{not json")
         cache = CompilationCache(str(tmp_path))
         run_sweep(spec, cache=cache, shard_shots=SHARD)
@@ -421,10 +424,11 @@ class TestWorkerPriming:
             run_sweep(spec, backend=backend, shard_shots=64)
         assert backend.shard_messages
         for message in backend.shard_messages:
-            kind, seq, circuit_key, decoder, shots, seed, epoch = message
+            kind, seq, circuit_key, decoder, sampler, shots, seed, epoch = message
             assert kind == "shard"
             assert isinstance(circuit_key, str) and len(circuit_key) == 64
             assert isinstance(decoder, str)
+            assert sampler in ("dem", "frame")
             assert isinstance(shots, int)
             # No nested payloads: the DEM JSON (dicts/lists) never
             # rides along with a shard.
@@ -599,3 +603,215 @@ class TestExplorerSweep:
         explorer = DesignSpaceExplorer(code_name="repetition")
         with pytest.raises(ValueError, match="disagrees"):
             explorer.sweep(small_spec(distances=(3,), shots=0))
+
+
+class TestSamplerSelection:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            small_spec(sampler="tableau")
+
+    def test_frame_keys_are_fast_path_free(self):
+        # The opt-out contract: a frame job's key hashes exactly the
+        # fields it had before the DEM-direct sampler existed, so
+        # shard RNG streams and stored results are bit-identical to
+        # pre-fast-path sweeps.
+        frame = small_spec(sampler="frame").expand()[0]
+        dem = small_spec(sampler="dem").expand()[0]
+        assert frame.key != dem.key
+        legacy = frame.to_dict()
+        del legacy["sampler"]
+        assert SweepJob.from_dict(legacy).key == frame.key
+
+    def test_legacy_store_dicts_resume_as_frame(self):
+        job = SweepJob.from_dict(
+            dict(code="rotated_surface", distance=2, capacity=2,
+                 topology="grid", wiring="standard", gate_improvement=1.0,
+                 decoder="mwpm", rounds=2, shots=SHOTS)
+        )
+        assert job.sampler == "frame"
+
+    def test_frame_sweep_matches_direct_frame_sampling(self):
+        # Bit-identity: the frame opt-out must reproduce exactly what
+        # plan_shards + FrameSimulator + the decoder compute by hand.
+        from repro.engine import CompilationCache as Cache
+        from repro.engine.runner import compile_design_point
+        from repro.noise.parameters import DEFAULT_NOISE
+
+        spec = small_spec(distances=(2,), sampler="frame")
+        [result] = run_sweep(spec, shard_shots=SHARD)
+        [job] = spec.expand()
+        art = compile_design_point(job, DEFAULT_NOISE, need_circuit=True)
+        cache = Cache()
+        compiled = cache.compiled(art.circuit, art.text)
+        decoder = cache.decoder(compiled, job.decoder)
+        failures = 0
+        for shard in plan_shards(job.shots, SHARD, spec.master_seed, job.key):
+            sample = FrameSimulator(compiled.circuit, seed=shard.seed).sample(
+                shard.shots
+            )
+            failures += int(decoder.logical_failures(
+                sample.detectors, sample.observables
+            ).sum())
+        assert result.failures == failures
+
+    def test_dem_and_frame_sweeps_are_distinct_experiments(self, tmp_path):
+        # Same design point, both samplers, one store: both records
+        # coexist (distinct keys) and both resume.
+        path = str(tmp_path / "r.jsonl")
+        [dem] = run_sweep(small_spec(distances=(2,)), results_path=path,
+                          shard_shots=SHARD)
+        [frame] = run_sweep(small_spec(distances=(2,), sampler="frame"),
+                            results_path=path, shard_shots=SHARD)
+        assert dem.key != frame.key
+        [dem2] = run_sweep(small_spec(distances=(2,)), results_path=path,
+                           shard_shots=SHARD)
+        [frame2] = run_sweep(small_spec(distances=(2,), sampler="frame"),
+                             results_path=path, shard_shots=SHARD)
+        assert dem2.resumed and frame2.resumed
+        assert dem2.failures == dem.failures
+        assert frame2.failures == frame.failures
+
+    def test_dem_sweep_serial_equals_multiprocess(self):
+        spec = small_spec()  # default sampler: dem
+        serial = run_sweep(spec, shard_shots=SHARD)
+        sharded = run_sweep(spec, workers=2, shard_shots=SHARD)
+        assert [r.failures for r in serial] == [r.failures for r in sharded]
+
+
+class TestDistanceMatrixCache:
+    def test_disk_round_trip_gives_identical_corrections(self, tmp_path):
+        # Artefact contract: dist/pred written by one cache, loaded by
+        # a fresh one (a resumed run / new process), decoding every
+        # syndrome identically — and without redoing the Dijkstra.
+        spec = small_spec(distances=(2,))
+        warm = CompilationCache(cache_dir=str(tmp_path))
+        [first] = run_sweep(spec, cache=warm, shard_shots=SHARD)
+        assert any(n.endswith(".dmat.npz") for n in os.listdir(tmp_path))
+        assert warm.dmat_disk_hits == 0
+        fresh = CompilationCache(cache_dir=str(tmp_path))
+        [second] = run_sweep(spec, cache=fresh, shard_shots=SHARD)
+        assert fresh.dmat_disk_hits == 1
+        assert second.failures == first.failures
+
+    def test_corrupt_dmat_recomputes(self, tmp_path):
+        spec = small_spec(distances=(2,))
+        run_sweep(spec, cache=CompilationCache(str(tmp_path)), shard_shots=SHARD)
+        [entry] = [n for n in os.listdir(tmp_path) if n.endswith(".dmat.npz")]
+        (tmp_path / entry).write_bytes(b"not an npz")
+        cache = CompilationCache(str(tmp_path))
+        [result] = run_sweep(spec, cache=cache, shard_shots=SHARD)
+        assert cache.dmat_disk_hits == 0
+        assert result.failures is not None
+
+    def test_workers_receive_parent_distance_matrices(self):
+        # The prime payload ships (dist, pred) for MWPM jobs so each
+        # worker skips its own all-pairs Dijkstra.
+        import numpy as np
+
+        class PrimeAudit(CountingBackend):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.prime_dmats = []
+
+            def _send(self, worker, message):
+                if message[0] == "prime":
+                    # ("prime", key, text, dem, sdem, dmat, epoch)
+                    self.prime_dmats.append(message[5])
+                super()._send(worker, message)
+
+        spec = small_spec(distances=(2,))
+        with PrimeAudit(max_workers=2) as backend:
+            run_sweep(spec, backend=backend, shard_shots=64)
+        assert backend.prime_dmats
+        for dmat in backend.prime_dmats:
+            assert dmat is not None
+            dist, pred = dmat
+            assert isinstance(dist, np.ndarray) and dist.ndim == 2
+
+
+class TestDiskCacheEviction:
+    def test_size_bound_evicts_lru(self, tmp_path):
+        cache = CompilationCache(cache_dir=str(tmp_path))
+        spec = small_spec(distances=(2, 3))
+        run_sweep(spec, cache=cache, shard_shots=SHARD)
+        paths = sorted(tmp_path.iterdir())
+        # 2 circuits x (dem.json + sdem.json + dmat.npz)
+        assert len(paths) == 6
+        total_mb = sum(p.stat().st_size for p in paths) / 1e6
+        # Refresh recency so the d=3 entries are the newest, then make
+        # a bounded cache re-store something: the oldest (d=2) entries
+        # must go first.
+        old = [p for p in paths if "dem.json" in p.name]
+        import time as _time
+
+        for p in tmp_path.iterdir():
+            os.utime(p, (1, 1))
+        bounded = CompilationCache(
+            cache_dir=str(tmp_path), max_disk_mb=total_mb / 2
+        )
+        jobs = spec.expand()
+        from repro.engine.runner import compile_design_point
+        from repro.noise.parameters import DEFAULT_NOISE
+
+        art = compile_design_point(jobs[0], DEFAULT_NOISE, need_circuit=True)
+        # Force a fresh write: same content, but routed through a cache
+        # whose budget is half the directory.
+        for p in tmp_path.iterdir():
+            p.unlink()
+        compiled = bounded.compiled(art.circuit, art.text)
+        bounded.decoder(compiled, "mwpm")
+        art2 = compile_design_point(jobs[1], DEFAULT_NOISE, need_circuit=True)
+        compiled2 = bounded.compiled(art2.circuit, art2.text)
+        bounded.decoder(compiled2, "mwpm")
+        remaining = sum(p.stat().st_size for p in tmp_path.iterdir())
+        assert remaining <= bounded.max_disk_mb * 1024 * 1024
+        assert bounded.evictions > 0
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = CompilationCache(cache_dir=str(tmp_path))
+        run_sweep(small_spec(distances=(2, 3)), cache=cache, shard_shots=SHARD)
+        assert cache.evictions == 0
+        assert len(list(tmp_path.iterdir())) == 6
+
+    def test_read_refreshes_recency(self, tmp_path):
+        spec = small_spec(distances=(2,))
+        run_sweep(spec, cache=CompilationCache(str(tmp_path)), shard_shots=SHARD)
+        [dem_path] = [p for p in tmp_path.iterdir() if p.name.endswith(".dem.json")]
+        os.utime(dem_path, (1, 1))
+        before = dem_path.stat().st_mtime_ns
+        fresh = CompilationCache(cache_dir=str(tmp_path))
+        run_sweep(spec, cache=fresh, shard_shots=SHARD)
+        assert fresh.disk_hits == 1
+        assert dem_path.stat().st_mtime_ns > before
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            CompilationCache(max_disk_mb=0)
+
+    def test_late_dmat_delivery_for_mixed_decoder_sweeps(self):
+        # A union_find shard can prime a (worker, circuit) pair before
+        # any MWPM shard reaches it; the matrices must then arrive in a
+        # late "dmat" message, not be silently dropped.
+        class Audit(CountingBackend):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.prime_dmats = []
+                self.dmat_messages = []
+
+            def _send(self, worker, message):
+                if message[0] == "prime":
+                    self.prime_dmats.append((worker, message[5]))
+                elif message[0] == "dmat":
+                    self.dmat_messages.append((worker, message[1]))
+                super()._send(worker, message)
+
+        spec = small_spec(distances=(2,), decoders=("union_find", "mwpm"))
+        with Audit(max_workers=2) as backend:
+            results = run_sweep(spec, backend=backend, shard_shots=64)
+        assert len(results) == 2
+        # Every worker primed without matrices got exactly one late
+        # delivery; nobody got a duplicate.
+        primed_without = {(w, "d") for w, d in backend.prime_dmats if d is None}
+        assert len(backend.dmat_messages) == len(set(backend.dmat_messages))
+        if primed_without:
+            assert backend.dmat_messages
