@@ -5,19 +5,30 @@ mode), the two halves of the Monte-Carlo hot path:
 
 - **sampling** — gate-by-gate :class:`FrameSimulator` replay vs the
   bit-packed DEM-direct :class:`DemSampler`;
-- **decoding** — one MWPM decode per shot vs deduplicated batch
-  decoding with the cross-shard syndrome memo;
+- **decoding** — one MWPM decode per shot vs packed-native
+  deduplicated batch decoding with the cross-shard syndrome memo;
 
 and the **end-to-end** pipelines they compose (sample + decode +
-failure count, i.e. what one engine shard does).  Results go to the
-repo-root ``BENCH_sampling.json`` so the perf trajectory is recorded,
-and to ``benchmarks/results/`` like every other benchmark table.
+failure count, i.e. what one engine shard does).  The fast path is
+**packed-native**: ``sample_packed`` words feed
+``logical_failures_packed`` directly — no boolean matrix and no
+pack/unpack round-trip anywhere between the sampler and the decoder
+(recorded as ``packed_native`` in the payload).
 
-Assertions gate the fast path: in smoke mode it merely must not be
-slower than the frame path; the full run enforces the acceptance
-targets (>= 5x sampling, >= 3x end-to-end) at the paper's
-5x-improvement design point, where the low-error-rate dedupe premise
-holds.
+A separate **near-threshold** point (1x gates — dedupe-hostile: most
+syndromes distinct, so memoisation stops helping) pits the per-shot
+scalar union-find against the batched vectorised kernel, asserting the
+two produce identical corrections before timing them.
+
+Results go to the repo-root ``BENCH_sampling.json`` so the perf
+trajectory is recorded, and to ``benchmarks/results/`` like every
+other benchmark table.
+
+Assertions gate the fast paths: in smoke mode they merely must not be
+slower (CI fails on a batched union-find regression); the full run
+enforces the acceptance targets — >= 5x sampling and >= 3x end-to-end
+at the paper's 5x-improvement design point, and >= 3x batched
+union-find decode throughput at the near-threshold point.
 """
 
 import json
@@ -26,7 +37,7 @@ import time
 
 import numpy as np
 
-from repro.decoders import MwpmDecoder
+from repro.decoders import MwpmDecoder, UnionFindDecoder
 from repro.engine import CompilationCache, SweepSpec
 from repro.engine.runner import compile_design_point, plan_shards
 from repro.noise.parameters import DEFAULT_NOISE
@@ -39,24 +50,33 @@ BENCH_PATH = os.path.abspath(
 )
 
 
-def _bench_point(distance: int, improvement: float, shard_shots: int,
-                 num_shards: int) -> dict:
-    """Run both pipelines over the same shard plan; return the numbers."""
+def _compiled_point(distance: int, improvement: float, shots: int,
+                    decoder: str = "mwpm"):
     spec = SweepSpec(
         distances=(distance,),
         gate_improvements=(improvement,),
-        shots=shard_shots * num_shards,
+        decoders=(decoder,),
+        shots=shots,
         master_seed=MASTER_SEED,
     )
     [job] = spec.expand()
     artifacts = compile_design_point(job, DEFAULT_NOISE, need_circuit=True)
     cache = CompilationCache()
     compiled = cache.compiled(artifacts.circuit, artifacts.text)
+    return job, cache, compiled
+
+
+def _bench_point(distance: int, improvement: float, shard_shots: int,
+                 num_shards: int) -> dict:
+    """Run both pipelines over the same shard plan; return the numbers."""
+    job, cache, compiled = _compiled_point(
+        distance, improvement, shard_shots * num_shards
+    )
     dem_sampler = cache.dem_sampler(compiled)
     cache.distance_matrix(compiled)  # dijkstra priced into neither path
     frame_decoder = MwpmDecoder(compiled.graph)
     fast_decoder = MwpmDecoder(compiled.graph)
-    shards = plan_shards(job.shots, shard_shots, spec.master_seed, job.key)
+    shards = plan_shards(job.shots, shard_shots, MASTER_SEED, job.key)
 
     t_frame_sample = t_naive_decode = 0.0
     t_dem_sample = t_dedup_decode = 0.0
@@ -75,11 +95,14 @@ def _bench_point(distance: int, improvement: float, shard_shots: int,
         t_naive_decode += t2 - t1
         frame_failures += int(fails.sum())
 
+        # Packed-native fast path: the uint64 words flow from the
+        # sampler straight into the decoder, exactly like an engine
+        # shard — no boolean matrices in between.
         t0 = time.perf_counter()
-        fast = dem_sampler.sample(shard.shots, seed=shard.seed)
+        packed = dem_sampler.sample_packed(shard.shots, seed=shard.seed)
         t1 = time.perf_counter()
-        fails = fast_decoder.logical_failures(
-            fast.detectors, fast.observables, dedupe=True
+        fails = fast_decoder.logical_failures_packed(
+            packed.det_words, packed.obs_words, dedupe=True
         )
         t2 = time.perf_counter()
         t_dem_sample += t1 - t0
@@ -116,16 +139,57 @@ def _bench_point(distance: int, improvement: float, shard_shots: int,
     }
 
 
+def _bench_near_threshold(distance: int, improvement: float,
+                          shots: int) -> dict:
+    """Dedupe-hostile decoding point: scalar vs batched union-find.
+
+    Near threshold almost every syndrome is distinct, so the memo and
+    ``np.unique`` stop paying and raw per-syndrome decode cost rules.
+    Corrections are asserted identical before anything is timed.
+    """
+    _, cache, compiled = _compiled_point(
+        distance, improvement, shots, decoder="union_find"
+    )
+    sampler = cache.dem_sampler(compiled)
+    packed = sampler.sample_packed(shots, seed=MASTER_SEED)
+    detectors = packed.detectors  # boolean copy for the scalar reference
+
+    scalar_uf = UnionFindDecoder(compiled.graph)
+    batched_uf = UnionFindDecoder(compiled.graph)
+    t0 = time.perf_counter()
+    reference = scalar_uf.decode_batch(detectors, dedupe=False)
+    t1 = time.perf_counter()
+    batched = batched_uf.decode_packed_batch(packed.det_words)
+    t2 = time.perf_counter()
+    assert np.array_equal(reference, batched), (
+        "batched union-find diverged from the scalar reference"
+    )
+    distinct = len(np.unique(packed.det_words, axis=0))
+    return {
+        "distance": distance,
+        "gate_improvement": improvement,
+        "decoder": "union_find",
+        "shots": shots,
+        "distinct_syndromes": int(distinct),
+        "distinct_fraction": distinct / shots,
+        "scalar_decodes_per_s": shots / (t1 - t0),
+        "batched_decodes_per_s": shots / (t2 - t1),
+        "speedup": (t1 - t0) / (t2 - t1),
+    }
+
+
 def test_sampling_decoding_fastpath():
     if smoke():
         # (improvement, shard_shots, num_shards)
         distance, grid = 3, ((5.0, 256, 2),)
+        near = _bench_near_threshold(3, 1.0, 1024)
     else:
         # The 1x point records the noisy-regime trajectory; the paper's
         # 5x design point carries the acceptance assertions and gets a
         # realistic multi-shard budget so the cross-shard syndrome memo
         # amortises the way a real LER job's does.
         distance, grid = 5, ((1.0, 1024, 2), (5.0, 2048, 16))
+        near = _bench_near_threshold(5, 1.0, 4096)
 
     points = [
         _bench_point(distance, improvement, shard_shots, num_shards)
@@ -154,14 +218,23 @@ def test_sampling_decoding_fastpath():
     )
     lines.append("")
     lines.append(
+        f"near-threshold union-find (d={near['distance']}, "
+        f"x{near['gate_improvement']:g}, {near['shots']} shots, "
+        f"{near['distinct_fraction']:.0%} distinct): "
+        f"scalar {near['scalar_decodes_per_s']:.0f}/s -> batched "
+        f"{near['batched_decodes_per_s']:.0f}/s "
+        f"({near['speedup']:.1f}x)"
+    )
+    lines.append(
         f"mode: {mode}; d={distance}; grid topology; mwpm; "
-        f"shots per point: {shots_summary}"
+        f"shots per point: {shots_summary}; packed-native fast path"
     )
     publish("bench_sampling_decoding", "\n".join(lines))
 
     payload = {
         "benchmark": "bench_sampling_decoding",
         "smoke": smoke(),
+        "packed_native": True,  # sampler words -> decoder, no round-trip
         "grid": {
             "code": "rotated_surface",
             "distance": distance,
@@ -169,18 +242,23 @@ def test_sampling_decoding_fastpath():
             "decoder": "mwpm",
         },
         "points": points,
+        "near_threshold": near,
     }
     with open(BENCH_PATH, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
 
-    # The fast path must never lose to the frame path, even on the
-    # CI smoke grid.
+    # The fast paths must never lose to their reference paths, even on
+    # the CI smoke grid (this is the batched union-find's regression
+    # gate: slower than the scalar loop fails the build).
     for p in points:
         assert p["sampling"]["speedup"] > 1.0, p
         assert p["end_to_end"]["speedup"] > 1.0, p
+    assert near["speedup"] > 1.0, near
     if not smoke():
-        # Acceptance targets at the paper's improved design point.
+        # Acceptance targets at the paper's improved design point and
+        # the dedupe-hostile near-threshold point.
         quiet = max(points, key=lambda p: p["gate_improvement"])
         assert quiet["sampling"]["speedup"] >= 5.0, quiet["sampling"]
         assert quiet["end_to_end"]["speedup"] >= 3.0, quiet["end_to_end"]
+        assert near["speedup"] >= 3.0, near

@@ -3,16 +3,20 @@
 - :class:`DetectorGraph` — weighted syndrome graph with boundary node.
 - :class:`MwpmDecoder` — minimum-weight perfect matching (cluster-
   decomposed exact DP with a blossom fallback).
-- :class:`UnionFindDecoder` — almost-linear union-find decoding.
+- :class:`UnionFindDecoder` — almost-linear union-find decoding, with a
+  batched vectorised kernel behind the packed decode protocol.
 - :class:`LookupDecoder` — exhaustive oracle for small models (tests).
-- :class:`BatchDecoderMixin` / :func:`decode_batch_dedup` — shared
-  deduplicated batch decoding with a cross-shard syndrome memo.
+- :class:`BatchDecoderMixin` / :func:`decode_packed_dedup` /
+  :func:`decode_batch_dedup` — shared packed-native deduplicated batch
+  decoding (``decode_packed_batch`` / ``logical_failures_packed``) with
+  a cross-shard syndrome memo.
 """
 
 from .batch import (
     BatchDecoderMixin,
     SyndromeMemo,
     decode_batch_dedup,
+    decode_packed_dedup,
 )
 from .graph import DetectorEdge, DetectorGraph, llr_weight
 from .lookup import LookupDecoder
@@ -23,6 +27,7 @@ __all__ = [
     "BatchDecoderMixin",
     "SyndromeMemo",
     "decode_batch_dedup",
+    "decode_packed_dedup",
     "DetectorEdge",
     "DetectorGraph",
     "llr_weight",

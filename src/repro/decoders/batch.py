@@ -1,4 +1,4 @@
-"""Deduplicated batch decoding shared by every decoder.
+"""Packed-native deduplicated batch decoding shared by every decoder.
 
 Decoding is the per-shot hot spot of LER estimation: matching is
 milliseconds per syndrome while sampling is microseconds per shot.  But
@@ -6,24 +6,43 @@ at low physical error rate the syndrome *distribution* is extremely
 skewed — most shots are empty or repeat a handful of light syndromes —
 so decoding every shot individually repeats identical work.
 
-:func:`decode_batch_dedup` packs each shot's detector bits into uint64
-words, ``np.unique``-s the packed rows, decodes each *distinct*
-syndrome exactly once, and scatters the corrections back to shots.  A
-:class:`SyndromeMemo` carries decoded syndromes across shard
-boundaries: decoder instances live as long as a worker's circuit memo,
-so a syndrome seen in shard 0 is free in every later shard of the same
-(circuit, decoder) pair.
+The pipeline speaks bit-packed uint64 syndrome words end to end: the
+samplers emit :class:`~repro.sim.dem_sampler.PackedShard` words, and
+:func:`decode_packed_dedup` runs ``np.unique`` *directly on those
+words* (no pack/unpack round-trip), looks each distinct row up in a
+:class:`SyndromeMemo` keyed on the row bytes, and hands every miss to
+the decoder in **one batched call** — so a vectorised decoder (the
+batched union-find) amortises its per-call overhead over the whole
+distinct-syndrome set, and a scalar decoder unpacks only the *distinct*
+missing rows, never every shot.  Corrections scatter back to shots via
+the unique-inverse.
 
-:class:`BatchDecoderMixin` gives every decoder the same
-``decode_batch`` / ``logical_failures`` pair on top of its scalar
-``decode`` — one implementation instead of one copy per decoder class.
+The memo carries decoded syndromes across shard boundaries: decoder
+instances live as long as a worker's circuit memo, so a syndrome seen
+in shard 0 is free in every later shard of the same (circuit, decoder)
+pair.
+
+:class:`BatchDecoderMixin` gives every decoder the same batch API on
+top of its scalar ``decode``:
+
+- ``decode_packed_batch(det_words)`` — the **decoder protocol** the
+  engine calls: packed words in, one observable bitmask per shot out;
+- ``logical_failures_packed(det_words, obs_words)`` — the per-shot
+  failure reduction, reading the actual observable straight from the
+  packed words;
+- ``decode_batch`` / ``logical_failures`` — boolean-boundary
+  conveniences that pack once and delegate.
+
+A decoder with a vectorised kernel overrides ``decode_unique_words``
+(see :class:`~repro.decoders.union_find.UnionFindDecoder`); everything
+else inherits the unpack-distinct-rows adapter for free.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..sim.dem_sampler import pack_bool_rows
+from ..sim.dem_sampler import pack_bool_rows, unpack_bool_rows
 
 # Cross-shard memo bound: distinct syndromes are few at the error rates
 # worth sweeping, but a near-threshold design point could see almost
@@ -44,69 +63,177 @@ class SyndromeMemo:
     def __len__(self) -> int:
         return len(self.table)
 
+    def snapshot(self) -> tuple[int, int, int]:
+        """``(hits, misses, entries)`` — diffable around a shard so the
+        engine can attribute memo traffic to individual shards."""
+        return (self.hits, self.misses, len(self.table))
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self.table),
+            "limit": self.limit,
+        }
+
+
+def decode_packed_dedup(
+    decode_unique_words,
+    det_words: np.ndarray,
+    memo: SyndromeMemo | None = None,
+) -> np.ndarray:
+    """Decode a packed ``(shots, words)`` uint64 batch via deduplication.
+
+    ``decode_unique_words`` maps a ``(k, words)`` array of *distinct*
+    packed syndromes to ``k`` observable bitmasks — one batched call
+    covers every syndrome the ``memo`` has not already seen, so each
+    distinct syndrome is decoded at most once per batch and, with a
+    memo, at most once per decoder lifetime.
+    """
+    words = np.atleast_2d(np.ascontiguousarray(det_words, dtype=np.uint64))
+    uniq, inverse = np.unique(words, axis=0, return_inverse=True)
+    corrections = np.empty(len(uniq), dtype=np.int64)
+    if memo is None:
+        missing = list(range(len(uniq)))
+    else:
+        missing = []
+        for row in range(len(uniq)):
+            cached = memo.table.get(uniq[row].tobytes())
+            if cached is not None:
+                memo.hits += 1
+                corrections[row] = cached
+            else:
+                memo.misses += 1
+                missing.append(row)
+    if missing:
+        miss_rows = np.array(missing, dtype=np.int64)
+        decoded = np.asarray(
+            decode_unique_words(uniq[miss_rows]), dtype=np.int64
+        ).reshape(-1)
+        if decoded.shape[0] != len(missing):
+            raise ValueError(
+                f"decode_unique_words returned {decoded.shape[0]} corrections "
+                f"for {len(missing)} distinct syndromes"
+            )
+        corrections[miss_rows] = decoded
+        if memo is not None:
+            for row, mask in zip(missing, decoded.tolist()):
+                if len(memo.table) >= memo.limit:
+                    break
+                memo.table[uniq[row].tobytes()] = mask
+    return corrections[inverse.reshape(-1)]
+
+
+def scalar_unique_adapter(decode_one, bits: int):
+    """Adapt a scalar ``decode_one(bool_row) -> mask`` to the batched
+    ``decode_unique_words`` shape: unpack only the given distinct rows
+    and map the scalar decode over them."""
+
+    def decode_unique(words: np.ndarray) -> np.ndarray:
+        rows = unpack_bool_rows(words, bits)
+        return np.fromiter(
+            (int(decode_one(row)) for row in rows),
+            dtype=np.int64,
+            count=len(rows),
+        )
+
+    return decode_unique
+
 
 def decode_batch_dedup(
     decode_one,
     detector_samples: np.ndarray,
     memo: SyndromeMemo | None = None,
 ) -> np.ndarray:
-    """Decode a ``(shots, detectors)`` boolean batch via deduplication.
+    """Boolean-boundary wrapper over :func:`decode_packed_dedup`.
 
     ``decode_one`` maps one boolean detector row to an observable
-    bitmask.  Each distinct syndrome in the batch is decoded at most
-    once; with a ``memo``, at most once per decoder lifetime.
+    bitmask; rows are packed once, deduplicated in packed form, and
+    only the distinct missing rows are unpacked back for ``decode_one``.
     """
     samples = np.atleast_2d(np.asarray(detector_samples, dtype=bool))
-    packed = pack_bool_rows(samples)
-    uniq, first_shot, inverse = np.unique(
-        packed, axis=0, return_index=True, return_inverse=True
+    return decode_packed_dedup(
+        scalar_unique_adapter(decode_one, samples.shape[1]),
+        pack_bool_rows(samples),
+        memo=memo,
     )
-    corrections = np.empty(len(uniq), dtype=np.int64)
-    for row in range(len(uniq)):
-        key = uniq[row].tobytes()
-        if memo is not None:
-            cached = memo.table.get(key)
-            if cached is not None:
-                memo.hits += 1
-                corrections[row] = cached
-                continue
-            memo.misses += 1
-        # Decode the first shot that produced this syndrome: cheaper
-        # than unpacking the packed row, and exact by construction.
-        mask = int(decode_one(samples[first_shot[row]]))
-        corrections[row] = mask
-        if memo is not None and len(memo.table) < memo.limit:
-            memo.table[key] = mask
-    return corrections[inverse.reshape(-1)]
 
 
 class BatchDecoderMixin:
-    """Shared batch API: dedupe-accelerated ``decode_batch`` plus the
-    ``logical_failures`` reduction every estimator consumes.
+    """Shared packed-native batch API plus the failure reduction every
+    estimator consumes.
 
-    Subclasses provide ``decode(detector_sample) -> int``.  Set
-    ``dedupe=False`` per call to force the one-decode-per-shot
-    reference path (the exactness tests diff the two).
+    Subclasses provide scalar ``decode(detector_sample) -> int`` and a
+    ``num_detectors`` attribute (set in ``__init__``); a decoder with a
+    vectorised batch kernel additionally overrides
+    ``decode_unique_words``.  Set ``dedupe=False`` per call to force the
+    one-scalar-decode-per-shot reference path (the exactness tests diff
+    the two).
     """
 
     _memo: SyndromeMemo | None = None
+    num_detectors: int
 
     def syndrome_memo(self) -> SyndromeMemo:
         if self._memo is None:
             self._memo = SyndromeMemo()
         return self._memo
 
+    # ------------------------------------------------------------------
+    def decode_unique_words(self, det_words: np.ndarray) -> np.ndarray:
+        """Decode ``(k, words)`` *distinct* packed syndromes.
+
+        Default adapter for scalar decoders: unpacks only these distinct
+        rows — never the full shot batch — and maps ``decode``.
+        Vectorised decoders override this with their batched kernel.
+        """
+        return scalar_unique_adapter(self.decode, self.num_detectors)(det_words)
+
+    def decode_packed_batch(
+        self, det_words: np.ndarray, *, dedupe: bool = True
+    ) -> np.ndarray:
+        """Observable bitmask per shot for packed ``(shots, words)``
+        syndromes — the pipeline's native decoder entry point."""
+        words = np.atleast_2d(np.ascontiguousarray(det_words, dtype=np.uint64))
+        if not dedupe:
+            rows = unpack_bool_rows(words, self.num_detectors)
+            return np.array([self.decode(row) for row in rows], dtype=np.int64)
+        return decode_packed_dedup(
+            self.decode_unique_words, words, memo=self.syndrome_memo()
+        )
+
     def decode_batch(
         self, detector_samples: np.ndarray, *, dedupe: bool = True
     ) -> np.ndarray:
-        """Observable bitmask per shot for a (shots x detectors) array."""
+        """Boolean-boundary convenience: packs once, then decodes packed."""
+        samples = np.atleast_2d(np.asarray(detector_samples, dtype=bool))
         if not dedupe:
             return np.array(
-                [self.decode(row) for row in detector_samples], dtype=np.int64
+                [self.decode(row) for row in samples], dtype=np.int64
             )
-        return decode_batch_dedup(
-            self.decode, detector_samples, memo=self.syndrome_memo()
-        )
+        return self.decode_packed_batch(pack_bool_rows(samples))
+
+    # ------------------------------------------------------------------
+    def logical_failures_packed(
+        self,
+        det_words: np.ndarray,
+        obs_words: np.ndarray,
+        *,
+        dedupe: bool = True,
+    ) -> np.ndarray:
+        """Per-shot bool: did decoding fail to fix observable 0?
+
+        Consumes packed words on both sides — the actual observable is
+        read from bit 0 of the first obs word, so no boolean matrix is
+        ever materialised on the engine's hot path.
+        """
+        corrections = self.decode_packed_batch(det_words, dedupe=dedupe)
+        obs = np.atleast_2d(np.ascontiguousarray(obs_words, dtype=np.uint64))
+        if obs.shape[1]:
+            actual = (obs[:, 0] & np.uint64(1)).astype(np.int64)
+        else:
+            actual = np.zeros(obs.shape[0], dtype=np.int64)
+        return (corrections & 1) != actual
 
     def logical_failures(
         self,
@@ -115,8 +242,8 @@ class BatchDecoderMixin:
         *,
         dedupe: bool = True,
     ) -> np.ndarray:
-        """Per-shot bool: did decoding fail to fix observable 0?"""
+        """Boolean-boundary failure reduction (packs and delegates)."""
         corrections = self.decode_batch(detector_samples, dedupe=dedupe)
-        actual = observable_samples[:, 0].astype(np.int64)
+        actual = np.atleast_2d(observable_samples)[:, 0].astype(np.int64)
         predicted = corrections & 1
         return predicted != actual

@@ -23,6 +23,7 @@ class LookupDecoder(BatchDecoderMixin):
         if max_weight < 1:
             raise ValueError("max_weight must be >= 1")
         self.dem = dem
+        self.num_detectors = dem.num_detectors
         self.max_weight = max_weight
         self._table: dict[frozenset[int], tuple[float, int]] = {}
         self._build()

@@ -50,7 +50,11 @@ class ProgressReporter:
             tally += f"/{shots} shots"
         self._emit(f"[{self.done}/{self.total}] done {key} {tally} ({elapsed_s:.1f}s)")
 
-    def finish(self, cache_stats: dict | None = None) -> None:
+    def finish(
+        self,
+        cache_stats: dict | None = None,
+        memo_stats: dict | None = None,
+    ) -> None:
         elapsed = time.monotonic() - self._t0
         line = (
             f"sweep finished: {self.done}/{self.total} job(s), "
@@ -63,6 +67,17 @@ class ProgressReporter:
                 f" | cache: {cache_stats.get('misses', 0)} compiled, "
                 f"{cache_stats.get('hits', 0)} hits, "
                 f"{cache_stats.get('disk_hits', 0)} disk hits"
+            )
+        if memo_stats and (
+            memo_stats.get("hits", 0) or memo_stats.get("misses", 0)
+        ):
+            # Syndrome-memo traffic: without it, a dedupe regression
+            # (near-threshold points where every syndrome is distinct)
+            # is invisible from the sweep summary.
+            line += (
+                f" | memo: {memo_stats.get('hits', 0)} hits, "
+                f"{memo_stats.get('misses', 0)} misses, "
+                f"{memo_stats.get('peak_entries', 0)} peak entries"
             )
         self._emit(line)
 

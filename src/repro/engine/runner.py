@@ -46,7 +46,7 @@ from ..decoders.graph import DetectorGraph
 from ..ler.estimator import make_decoder
 from ..noise.parameters import DEFAULT_NOISE, NoiseParameters
 from ..sim.circuit import StabilizerCircuit
-from ..sim.dem_sampler import DemSampler
+from ..sim.dem_sampler import DemSampler, PackedShard
 from ..sim.frame import FrameSimulator
 from ..sim.text_format import circuit_from_text
 from .cache import CompilationCache, CompiledCircuit, dem_from_jsonable, dem_to_jsonable
@@ -103,19 +103,31 @@ def sample_shard(
     decoder,
     shard: Shard,
     sampler: DemSampler | None = None,
-) -> int:
+) -> tuple[int, tuple[int, int, int]]:
     """Sample one shard and count its logical failures.
 
-    With a :class:`DemSampler` the shard draws syndromes straight from
-    the bit-packed DEM (fast path); without one it replays the circuit
-    through the :class:`FrameSimulator` (reference path).  Either way
-    the shard's ``SeedSequence`` fully determines the draw.
+    The shard flows packed end to end: a :class:`DemSampler` emits
+    :class:`~repro.sim.dem_sampler.PackedShard` words directly (fast
+    path, no unpack), while the :class:`FrameSimulator` reference path
+    packs its boolean output once at this boundary.  Either way the
+    decoder consumes the uint64 words via ``logical_failures_packed``
+    and the shard's ``SeedSequence`` fully determines the draw.
+
+    Returns ``(failures, (memo_hits, memo_misses, memo_size))`` — the
+    shard's own syndrome-memo traffic, for dedupe observability.
     """
     if sampler is not None:
-        sample = sampler.sample(shard.shots, seed=shard.seed)
+        packed = sampler.sample_packed(shard.shots, seed=shard.seed)
     else:
         sample = FrameSimulator(circuit, seed=shard.seed).sample(shard.shots)
-    return int(decoder.logical_failures(sample.detectors, sample.observables).sum())
+        packed = PackedShard.from_bool(sample.detectors, sample.observables)
+    memo = decoder.syndrome_memo()
+    hits0, misses0, _ = memo.snapshot()
+    failures = int(
+        decoder.logical_failures_packed(packed.det_words, packed.obs_words).sum()
+    )
+    hits1, misses1, size = memo.snapshot()
+    return failures, (hits1 - hits0, misses1 - misses0, size)
 
 
 # ----------------------------------------------------------------------
@@ -158,7 +170,7 @@ class SerialBackend:
         t0 = time.perf_counter()
         decoder = cache.decoder(compiled, task.decoder)
         sampler = cache.dem_sampler(compiled) if task.sampler == "dem" else None
-        failures = sample_shard(
+        failures, memo = sample_shard(
             compiled.circuit, decoder,
             Shard(task.shard_index, task.shots, task.seed),
             sampler=sampler,
@@ -166,7 +178,7 @@ class SerialBackend:
         self._outcomes.append(
             ShardOutcome(
                 task.seq, task.job_key, task.shots, failures,
-                time.perf_counter() - t0,
+                time.perf_counter() - t0, *memo,
             )
         )
 
@@ -217,7 +229,7 @@ def _worker_main(task_queue, result_queue) -> None:
                 circuits[circuit_key] = (circuit, graph, sampling_dem)
             except BaseException:
                 result_queue.put(
-                    ("error", None, traceback.format_exc(), 0.0, epoch)
+                    ("error", None, traceback.format_exc(), 0.0, epoch, None)
                 )
             continue
         if kind == "dmat":
@@ -251,14 +263,16 @@ def _worker_main(task_queue, result_queue) -> None:
                 if sampler is None:
                     sampler = DemSampler(sampling_dem)
                     samplers[circuit_key] = sampler
-            failures = sample_shard(
+            failures, memo = sample_shard(
                 circuit, decoder, Shard(0, shots, seed), sampler=sampler
             )
             result_queue.put(
-                ("ok", seq, failures, time.perf_counter() - t0, epoch)
+                ("ok", seq, failures, time.perf_counter() - t0, epoch, memo)
             )
         except BaseException:
-            result_queue.put(("error", seq, traceback.format_exc(), 0.0, epoch))
+            result_queue.put(
+                ("error", seq, traceback.format_exc(), 0.0, epoch, None)
+            )
 
 
 class MultiprocessBackend:
@@ -435,7 +449,7 @@ class MultiprocessBackend:
             return [outcome] + self.poll()
 
     def _handle(self, message) -> ShardOutcome | None:
-        kind, seq, value, elapsed_s, epoch = message
+        kind, seq, value, elapsed_s, epoch, memo = message
         if epoch != self._epoch:
             return None  # shard of an abandoned sweep: silently drop
         dispatched = self._dispatch.pop(seq, None)
@@ -446,7 +460,10 @@ class MultiprocessBackend:
             raise RuntimeError(f"worker shard failed:\n{value}")
         if dispatched is None:
             raise RuntimeError(f"result for unknown shard task {seq}")
-        return ShardOutcome(seq, job_key, shots, int(value), float(elapsed_s))
+        memo = memo if memo is not None else (0, 0, 0)
+        return ShardOutcome(
+            seq, job_key, shots, int(value), float(elapsed_s), *memo
+        )
 
     def abandon_pending(self) -> None:
         """Disown every in-flight shard (aborted-sweep recovery).
@@ -626,6 +643,9 @@ class Runner:
         self.shard_shots = shard_shots
         self.progress = make_progress(progress)
         self._artifacts: dict[tuple, JobArtifacts] = {}
+        # Sweep-wide syndrome-memo tallies (hit/miss deltas summed over
+        # every shard; peak = largest single memo observed anywhere).
+        self._memo_totals = {"hits": 0, "misses": 0, "peak_entries": 0}
         # What makes two samplings of the same job comparable: stored
         # results are only reused when all of this matches.
         self.run_config = {
@@ -678,7 +698,7 @@ class Runner:
         else:
             if self._own_backend:
                 self.backend.close()
-        self.progress.finish(self.cache.stats())
+        self.progress.finish(self.cache.stats(), self._memo_totals)
         return [results[job.key] for job in jobs]
 
     # ------------------------------------------------------------------
@@ -702,6 +722,7 @@ class Runner:
             plan=plan,
             sampler=job.sampler,
             target_failures=job.target_failures,
+            target_rel_stderr=job.target_rel_stderr,
             tranche_shards=tranche,
             payload=(job, artifacts, setup_s),
         )
@@ -712,10 +733,21 @@ class Runner:
         if job.adaptive:
             extras["adaptive"] = {
                 "target_failures": job.target_failures,
+                "target_rel_stderr": job.target_rel_stderr,
                 "max_shots": job.max_shots,
                 "initial_shots": job.shots,
                 "converged": state.converged,
             }
+        extras["memo"] = {
+            "hits": state.memo_hits,
+            "misses": state.memo_misses,
+            "entries": state.memo_size,
+        }
+        self._memo_totals["hits"] += state.memo_hits
+        self._memo_totals["misses"] += state.memo_misses
+        self._memo_totals["peak_entries"] = max(
+            self._memo_totals["peak_entries"], state.memo_size
+        )
         # Compile time plus the job's own sampling time across all
         # workers — exclusive of time its shards sat queued behind
         # other jobs, which streaming would otherwise smear into every
@@ -791,7 +823,8 @@ def sample_adaptive(
     circuit: StabilizerCircuit,
     *,
     decoder: str = "mwpm",
-    target_failures: int = 20,
+    target_failures: int | None = 20,
+    target_rel_stderr: float | None = None,
     max_shots: int = 10 ** 6,
     shard_shots: int = 5000,
     seed: int | None = None,
@@ -799,16 +832,30 @@ def sample_adaptive(
     cache: CompilationCache | None = None,
     sampler: str = "dem",
 ) -> tuple[int, int]:
-    """Sample ``circuit`` until ``target_failures`` failures or the
-    ``max_shots`` budget, whichever comes first.
+    """Sample ``circuit`` until ``target_failures`` failures (or, when
+    ``target_rel_stderr`` is set, until the estimate's relative
+    standard error falls below that bound) or the ``max_shots``
+    budget, whichever comes first.
+
+    The first satisfied target retires the job, so a tight precision
+    bound needs ``target_failures=None`` (precision-only stopping) —
+    otherwise the failure count fires first and caps the achievable
+    precision at roughly ``1/sqrt(target_failures)``.
 
     Runs the same scheduler / shard plan machinery as a sweep job, so
     results are deterministic for a given ``seed`` and the sampling can
     be fanned out over a :class:`MultiprocessBackend`.  Returns
     ``(shots, failures)``.
     """
-    if target_failures < 1:
+    if target_failures is None and target_rel_stderr is None:
+        raise ValueError(
+            "need target_failures and/or target_rel_stderr (otherwise use "
+            "a fixed-shot sweep)"
+        )
+    if target_failures is not None and target_failures < 1:
         raise ValueError("target_failures must be positive")
+    if target_rel_stderr is not None and target_rel_stderr <= 0:
+        raise ValueError("target_rel_stderr must be positive")
     if shard_shots < 1 or max_shots < shard_shots:
         raise ValueError("need max_shots >= shard_shots >= 1")
     cache = cache if cache is not None else CompilationCache()
@@ -825,6 +872,7 @@ def sample_adaptive(
         plan=plan,
         sampler=sampler,
         target_failures=target_failures,
+        target_rel_stderr=target_rel_stderr,
         tranche_shards=len(plan),
     )
     scheduler = StreamScheduler(backend, cache)

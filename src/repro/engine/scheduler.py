@@ -11,10 +11,13 @@ out of the design:
   keep compiling the next design point while workers sample the
   previous one;
 - **adaptive allocation** — a job with ``target_failures`` set retires
-  as soon as it has observed that many failures; the worker slots it
-  frees are immediately refilled with shards of unconverged jobs (up
-  to each job's ``max_shots``), which is where the reinvested budget
-  goes;
+  as soon as it has observed that many failures, and a job with
+  ``target_rel_stderr`` set retires once its Jeffreys-smoothed
+  relative standard error falls below the bound (a *precision* target:
+  noisy points stop early, quiet points keep sampling); the worker
+  slots a retired job frees are immediately refilled with shards of
+  unconverged jobs (up to each job's ``max_shots``), which is where
+  the reinvested budget goes;
 - **fixed-shot determinism** — a job without a failure target always
   runs its *entire* shard plan, and failure counts are summed over the
   full plan, so totals are bit-identical across backends, worker
@@ -30,6 +33,7 @@ Backends expose a small streaming interface:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -62,7 +66,10 @@ class ShardOutcome:
 
     ``elapsed_s`` is the shard's own sampling time on whichever worker
     ran it, so a job's cost can be reported exclusive of time spent
-    queued behind other jobs' shards.
+    queued behind other jobs' shards.  ``memo_hits`` / ``memo_misses``
+    are the shard's own syndrome-memo traffic (deltas, so they sum
+    across shards); ``memo_size`` is the memo's entry count right after
+    the shard, making dedupe behaviour observable from the parent.
     """
 
     seq: int
@@ -70,6 +77,9 @@ class ShardOutcome:
     shots: int
     failures: int
     elapsed_s: float = 0.0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_size: int = 0
 
 
 class JobState:
@@ -84,8 +94,9 @@ class JobState:
 
     __slots__ = (
         "key", "compiled", "decoder", "sampler", "plan", "target_failures",
-        "tranche_shards", "payload", "next_index", "inflight",
-        "shots_done", "failures", "shots_submitted", "work_s",
+        "target_rel_stderr", "tranche_shards", "payload", "next_index",
+        "inflight", "shots_done", "failures", "shots_submitted", "work_s",
+        "memo_hits", "memo_misses", "memo_size", "retired",
     )
 
     def __init__(
@@ -97,6 +108,7 @@ class JobState:
         *,
         sampler: str = "dem",
         target_failures: int | None = None,
+        target_rel_stderr: float | None = None,
         tranche_shards: int | None = None,
         payload=None,
     ):
@@ -106,6 +118,7 @@ class JobState:
         self.sampler = sampler
         self.plan = plan
         self.target_failures = target_failures
+        self.target_rel_stderr = target_rel_stderr
         self.tranche_shards = (
             len(plan) if tranche_shards is None else min(tranche_shards, len(plan))
         )
@@ -116,16 +129,57 @@ class JobState:
         self.failures = 0
         self.shots_submitted = 0
         self.work_s = 0.0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_size = 0
+        self.retired = False
 
     # ------------------------------------------------------------------
     @property
     def adaptive(self) -> bool:
-        return self.target_failures is not None
+        return (
+            self.target_failures is not None
+            or self.target_rel_stderr is not None
+        )
+
+    @property
+    def rel_stderr(self) -> float:
+        """Jeffreys-smoothed per-shot relative standard error — the
+        same smoothing as :class:`repro.ler.estimator.LerResult`, so a
+        precision-retired job's stored counts reproduce the bound."""
+        p = (self.failures + 0.5) / (self.shots_done + 1.0)
+        return math.sqrt(p * (1.0 - p) / (self.shots_done + 1.0)) / p
 
     @property
     def converged(self) -> bool:
-        """Failure target met — only adaptive jobs ever converge."""
-        return self.adaptive and self.failures >= self.target_failures
+        """A target met — only adaptive jobs ever converge.
+
+        A precision target never retires a job with zero observed
+        failures: the explicit ``failures > 0`` guard matters because
+        the smoothed zero-failure rel-stderr approaches sqrt(2) from
+        *below*, so a loose bound in [~1.22, 1.414) would otherwise
+        retire a job that has produced no statistics at all.
+
+        Convergence **latches**: at fixed failures the relative stderr
+        *rises* with shots, so a zero-failure in-flight shard landing
+        after the bound was met could otherwise push the job back above
+        the bound and un-retire it — resuming submission for a point
+        whose precision target was already satisfied (and breaking the
+        tranche cursor's no-reversal invariant).
+        """
+        if self.retired:
+            return True
+        if self.target_failures is not None and (
+            self.failures >= self.target_failures
+        ):
+            self.retired = True
+        elif (
+            self.target_rel_stderr is not None
+            and self.failures > 0
+            and self.rel_stderr <= self.target_rel_stderr
+        ):
+            self.retired = True
+        return self.retired
 
     @property
     def exhausted(self) -> bool:
@@ -272,6 +326,12 @@ class StreamScheduler:
             state.shots_done += outcome.shots
             state.failures += outcome.failures
             state.work_s += outcome.elapsed_s
+            state.memo_hits += outcome.memo_hits
+            state.memo_misses += outcome.memo_misses
+            # Peak entry count: shard snapshots of one memo are
+            # monotone, so the max is the job's final memo size on its
+            # busiest worker.
+            state.memo_size = max(state.memo_size, outcome.memo_size)
             if state.done:
                 # A job can only complete when its last in-flight shard
                 # lands, so this is the one place completions surface.

@@ -42,11 +42,14 @@ class SweepJob:
     rounds: int
     shots: int
     basis: str = "Z"
-    # Adaptive shot allocation: when ``target_failures`` is set,
-    # ``shots`` is only the *initial tranche* — the scheduler keeps
-    # sampling (up to ``max_shots``) until the job has observed
-    # ``target_failures`` logical failures, and retires it early once
-    # it has.  ``None`` means classic fixed-shot sampling.
+    # Adaptive shot allocation: when ``target_failures`` and/or
+    # ``target_rel_stderr`` is set, ``shots`` is only the *initial
+    # tranche* — the scheduler keeps sampling (up to ``max_shots``)
+    # until the job has observed ``target_failures`` logical failures
+    # or its estimate's relative standard error has fallen below
+    # ``target_rel_stderr`` (a *precision* target), and retires it
+    # early once it has.  ``None`` for both means classic fixed-shot
+    # sampling.
     target_failures: int | None = None
     max_shots: int | None = None
     # Syndrome sampler: "dem" draws shots directly from the compiled
@@ -56,10 +59,18 @@ class SweepJob:
     # streams are unchanged, so stored results resume and the sampled
     # syndromes are bit-identical to pre-fast-path sweeps).
     sampler: str = "dem"
+    # Adaptive precision stopping (see above); appended after
+    # ``sampler`` so positional construction from older call sites is
+    # unaffected, and excluded from the key hash when unset so every
+    # pre-existing job key carries over bit-identically.
+    target_rel_stderr: float | None = None
 
     @property
     def adaptive(self) -> bool:
-        return self.target_failures is not None
+        return (
+            self.target_failures is not None
+            or self.target_rel_stderr is not None
+        )
 
     @property
     def shot_cap(self) -> int:
@@ -97,13 +108,20 @@ class SweepJob:
         content = asdict(self)
         if not self.adaptive:
             del content["target_failures"], content["max_shots"]
+        if self.target_rel_stderr is None:
+            del content["target_rel_stderr"]
         if self.sampler == "frame":
             del content["sampler"]
         payload = json.dumps(content, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(payload.encode()).hexdigest()[:12]
         budget = f"n{self.shots}"
         if self.adaptive:
-            budget = f"n{self.shots}-f{self.target_failures}of{self.max_shots}"
+            goals = []
+            if self.target_failures is not None:
+                goals.append(f"f{self.target_failures}")
+            if self.target_rel_stderr is not None:
+                goals.append(f"rse{self.target_rel_stderr:g}")
+            budget = f"n{self.shots}-{'-'.join(goals)}of{self.max_shots}"
         return (
             f"{self.code}-d{self.distance}-c{self.capacity}-{self.topology}"
             f"-{self.wiring}-x{self.gate_improvement:g}-{self.decoder}"
@@ -146,7 +164,8 @@ class SweepSpec:
     basis: str = "Z"
     master_seed: int = 2026
     # Adaptive shot allocation (see SweepJob): sample each design
-    # point until it shows ``target_failures`` failures, spending at
+    # point until it shows ``target_failures`` failures and/or until
+    # ``stderr / ler`` drops below ``target_rel_stderr``, spending at
     # most ``max_shots``; ``shots`` is the initial tranche every job is
     # guaranteed before freed budget is reinvested in noisy points.
     # ``max_shots`` defaults to 100 tranches when left unset.
@@ -156,6 +175,10 @@ class SweepSpec:
     # detector error model; "frame" opts back into gate-by-gate
     # circuit replay with pre-fast-path keys and shard RNG streams.
     sampler: str = "dem"
+    # Adaptive *precision* stopping: retire a design point once the
+    # relative standard error of its per-shot LER estimate falls below
+    # this bound (e.g. 0.1 for ~10% error bars).
+    target_rel_stderr: float | None = None
 
     def __post_init__(self):
         for name in ("distances", "capacities", "topologies", "wirings",
@@ -189,12 +212,21 @@ class SweepSpec:
             raise ValueError("rounds must be positive (or None for rounds=distance)")
         if self.shots < 0:
             raise ValueError("shots must be non-negative (0 = compile-only)")
-        if self.target_failures is None:
+        adaptive = (
+            self.target_failures is not None
+            or self.target_rel_stderr is not None
+        )
+        if not adaptive:
             if self.max_shots is not None:
-                raise ValueError("max_shots requires target_failures (adaptive mode)")
+                raise ValueError(
+                    "max_shots requires target_failures or target_rel_stderr "
+                    "(adaptive mode)"
+                )
         else:
-            if self.target_failures < 1:
+            if self.target_failures is not None and self.target_failures < 1:
                 raise ValueError("target_failures must be positive")
+            if self.target_rel_stderr is not None and self.target_rel_stderr <= 0:
+                raise ValueError("target_rel_stderr must be positive")
             if self.shots < 1:
                 raise ValueError("adaptive mode needs shots > 0 (the initial tranche)")
             if self.max_shots is None:
@@ -232,5 +264,6 @@ class SweepSpec:
                                     target_failures=self.target_failures,
                                     max_shots=self.max_shots,
                                     sampler=self.sampler,
+                                    target_rel_stderr=self.target_rel_stderr,
                                 ))
         return jobs

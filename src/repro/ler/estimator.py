@@ -17,6 +17,7 @@ from ..decoders.mwpm import MwpmDecoder
 from ..decoders.union_find import UnionFindDecoder
 from ..sim.circuit import StabilizerCircuit
 from ..sim.dem import circuit_to_dem
+from ..sim.dem_sampler import PackedShard
 from ..sim.frame import FrameSimulator
 
 
@@ -49,6 +50,13 @@ class LerResult:
         return math.sqrt(p * (1.0 - p) / (self.shots + 1.0))
 
     @property
+    def rel_stderr(self) -> float:
+        """Relative precision of the estimate (``stderr / ler``) — the
+        quantity adaptive precision stopping
+        (``SweepSpec(target_rel_stderr=...)``) drives below its bound."""
+        return self.stderr_per_shot / self.per_shot
+
+    @property
     def observed_any_failure(self) -> bool:
         return self.failures > 0
 
@@ -75,20 +83,26 @@ def estimate_logical_error_rate(
     graph = DetectorGraph.from_dem(dem)
     dec = make_decoder(graph, decoder)
     sample = FrameSimulator(circuit, seed=seed).sample(shots)
-    failures = int(dec.logical_failures(sample.detectors, sample.observables).sum())
+    # Pack once at the sampler boundary; decode over the packed words
+    # (the same flow an engine shard uses).
+    packed = PackedShard.from_bool(sample.detectors, sample.observables)
+    failures = int(
+        dec.logical_failures_packed(packed.det_words, packed.obs_words).sum()
+    )
     return LerResult(shots=shots, failures=failures, rounds=rounds)
 
 
 def estimate_until_failures(
     circuit: StabilizerCircuit,
     rounds: int,
-    min_failures: int = 20,
+    min_failures: int | None = 20,
     max_shots: int = 10 ** 6,
     batch: int = 5000,
     decoder: str = "mwpm",
     seed: int | None = None,
     backend=None,
     sampler: str = "dem",
+    target_rel_stderr: float | None = None,
 ) -> LerResult:
     """Adaptive estimation: sample in batches until enough failures.
 
@@ -102,8 +116,15 @@ def estimate_until_failures(
     shards out over workers.  ``sampler="dem"`` (default) draws
     syndromes straight from the compiled detector error model;
     ``sampler="frame"`` opts back into gate-by-gate circuit replay.
+    ``target_rel_stderr`` adds a precision stopping rule: sampling also
+    stops once ``result.rel_stderr`` falls below the bound — and since
+    the *first* satisfied target wins, a precision bound tighter than
+    ``1/sqrt(min_failures)`` needs ``min_failures=None``
+    (precision-only stopping, up to the ``max_shots`` budget).
     """
-    if min_failures < 1:
+    if min_failures is None and target_rel_stderr is None:
+        raise ValueError("need min_failures and/or target_rel_stderr")
+    if min_failures is not None and min_failures < 1:
         raise ValueError("min_failures must be positive")
     if batch < 1 or max_shots < batch:
         raise ValueError("need max_shots >= batch >= 1")
@@ -113,6 +134,7 @@ def estimate_until_failures(
         circuit,
         decoder=decoder,
         target_failures=min_failures,
+        target_rel_stderr=target_rel_stderr,
         max_shots=max_shots,
         shard_shots=batch,
         seed=seed,

@@ -10,11 +10,13 @@ Public surface:
 - :func:`circuit_to_dem` — detector-error-model extraction.
 - :class:`DemSampler` — bit-packed DEM-direct syndrome sampling (the
   fast path; the frame simulator is its reference oracle).
+- :class:`PackedShard` — packed uint64 syndrome batch, the native
+  currency of the sampling -> decoding pipeline.
 """
 
 from .circuit import Instruction, StabilizerCircuit
 from .dem import DemError, DetectorErrorModel, circuit_to_dem, circuit_to_dems
-from .dem_sampler import DemSampler, pack_bool_rows, unpack_bool_rows
+from .dem_sampler import DemSampler, PackedShard, pack_bool_rows, unpack_bool_rows
 from .frame import FrameSimulator, FrameState, SampleResult
 from .pauli import PauliString
 from .tableau import TableauSimulator
@@ -37,6 +39,7 @@ __all__ = [
     "circuit_to_dem",
     "circuit_to_dems",
     "DemSampler",
+    "PackedShard",
     "pack_bool_rows",
     "unpack_bool_rows",
     "FrameSimulator",

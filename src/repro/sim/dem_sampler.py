@@ -16,7 +16,7 @@ At build time the DEM is compiled into two bit-packed parity matrices:
   ``e`` flips detector ``w * 64 + b``;
 - ``obs_words`` — same layout over logical observables.
 
-Sampling a shard is then three vectorised steps with no per-gate work,
+Sampling a shard is then two vectorised steps with no per-gate work,
 and — crucially — with cost proportional to the number of firing
 *events* (``shots * sum(p)``), not to ``shots * num_mechanisms``:
 
@@ -28,9 +28,14 @@ and — crucially — with cost proportional to the number of firing
    law conditioned on its count;
 2. XOR-accumulate the firing mechanisms' packed symptom rows into each
    shot's packed syndrome words (``np.bitwise_xor.at`` — XOR is
-   associative and commutative, so accumulation order is irrelevant);
-3. unpack the words into the boolean ``(shots, detectors)`` /
-   ``(shots, observables)`` arrays the decoders consume.
+   associative and commutative, so accumulation order is irrelevant).
+
+The result stays packed: :meth:`DemSampler.sample_packed` returns a
+:class:`PackedShard` of uint64 words that flows through the engine and
+into the decoders' ``decode_packed_batch`` protocol without ever
+materialising boolean ``(shots, detectors)`` matrices.  Boolean arrays
+are now strictly a boundary representation (:meth:`DemSampler.sample`,
+and :meth:`PackedShard.from_bool` for frame-simulator output).
 
 Fidelity
 --------
@@ -52,6 +57,8 @@ against it.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -83,6 +90,71 @@ def unpack_bool_rows(words: np.ndarray, bits: int) -> np.ndarray:
         np.ascontiguousarray(words).view(np.uint8), axis=1, bitorder="little"
     )
     return flat[:, :bits].astype(bool)
+
+
+@dataclass(frozen=True)
+class PackedShard:
+    """One shard's syndromes in the pipeline's native representation.
+
+    ``det_words`` / ``obs_words`` are ``(shots, ceil(bits / 64))``
+    uint64 arrays (little-endian bit order within each word, the
+    :func:`pack_bool_rows` layout); ``num_detectors`` /
+    ``num_observables`` record the true bit counts so the padding bits
+    are never mistaken for data.  This is what flows from the samplers
+    through the engine's shard execution into the decoders'
+    ``decode_packed_batch`` protocol — boolean matrices exist only at
+    explicit boundaries (:meth:`detectors` / :meth:`observables`).
+    """
+
+    det_words: np.ndarray
+    obs_words: np.ndarray
+    num_detectors: int
+    num_observables: int
+
+    @property
+    def shots(self) -> int:
+        return self.det_words.shape[0]
+
+    @property
+    def detectors(self) -> np.ndarray:
+        """Boolean ``(shots, num_detectors)`` view (unpacks on demand)."""
+        return unpack_bool_rows(self.det_words, self.num_detectors)
+
+    @property
+    def observables(self) -> np.ndarray:
+        """Boolean ``(shots, num_observables)`` view (unpacks on demand)."""
+        return unpack_bool_rows(self.obs_words, self.num_observables)
+
+    def observable_bits(self, index: int = 0) -> np.ndarray:
+        """Per-shot boolean of one observable, read straight from the
+        packed words — for custom failure reductions that want a single
+        observable without unpacking the whole batch."""
+        if not 0 <= index < self.num_observables:
+            raise ValueError(
+                f"observable {index} out of range (have {self.num_observables})"
+            )
+        word, bit = divmod(index, 64)
+        return (self.obs_words[:, word] >> np.uint64(bit)) & np.uint64(1) != 0
+
+    @classmethod
+    def from_bool(
+        cls, detectors: np.ndarray, observables: np.ndarray
+    ) -> "PackedShard":
+        """Pack boolean sampler output once at the pipeline boundary
+        (the frame-simulator path enters the packed flow here)."""
+        detectors = np.atleast_2d(np.asarray(detectors, dtype=bool))
+        observables = np.atleast_2d(np.asarray(observables, dtype=bool))
+        if len(detectors) != len(observables):
+            raise ValueError(
+                f"detector/observable shot counts disagree: "
+                f"{len(detectors)} vs {len(observables)}"
+            )
+        return cls(
+            det_words=pack_bool_rows(detectors),
+            obs_words=pack_bool_rows(observables),
+            num_detectors=detectors.shape[1],
+            num_observables=observables.shape[1],
+        )
 
 
 class DemSampler:
@@ -117,18 +189,21 @@ class DemSampler:
         return cls(exact)
 
     # ------------------------------------------------------------------
-    def sample_packed(
-        self, shots: int, seed=None
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Packed ``(shots, det_words)`` / ``(shots, obs_words)`` uint64
-        syndrome draws."""
-        if shots <= 0:
-            raise ValueError("shots must be positive")
+    def sample_packed(self, shots: int, seed=None) -> PackedShard:
+        """The sampler's primary product: ``shots`` packed uint64
+        syndrome draws as a :class:`PackedShard`.
+
+        ``shots == 0`` is legal and returns empty arrays — the
+        scheduler's last adaptive tranche can legitimately round to
+        zero shots.
+        """
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
         rng = np.random.default_rng(seed)
         det = np.zeros((shots, self.det_words.shape[1]), dtype=np.uint64)
         obs = np.zeros((shots, self.obs_words.shape[1]), dtype=np.uint64)
-        if self.num_errors == 0:
-            return det, obs
+        if shots == 0 or self.num_errors == 0:
+            return self._shard(det, obs)
         counts = rng.binomial(shots, self.probabilities)
         # Mechanisms that fired in *every* shot (p at or near 1) XOR
         # into the whole shard directly; placing them through the
@@ -140,7 +215,7 @@ class DemSampler:
             counts[full] = 0
         total = int(counts.sum())
         if total == 0:
-            return det, obs
+            return self._shard(det, obs)
         mech_idx = np.repeat(np.arange(self.num_errors), counts)
         # Distinct uniform placement per mechanism: draw with
         # replacement, then redraw whichever later duplicates remain
@@ -158,20 +233,29 @@ class DemSampler:
             pair[redraw] = mech_idx[redraw] * np.int64(shots) + pos[redraw]
         np.bitwise_xor.at(det, pos, self.det_words[mech_idx])
         np.bitwise_xor.at(obs, pos, self.obs_words[mech_idx])
-        return det, obs
+        return self._shard(det, obs)
+
+    def _shard(self, det: np.ndarray, obs: np.ndarray) -> PackedShard:
+        return PackedShard(
+            det_words=det,
+            obs_words=obs,
+            num_detectors=self.num_detectors,
+            num_observables=self.num_observables,
+        )
 
     def sample(self, shots: int, seed=None) -> SampleResult:
-        """Sample ``shots`` syndromes; drop-in for the decoder-facing
+        """Boolean-boundary sampling; drop-in for the decoder-facing
         part of :meth:`FrameSimulator.sample`.
 
         ``measurements`` is empty (shape ``(shots, 0)``): the DEM has no
         notion of individual measurement records, only of the detector
         and observable parities built from them — which is all the
-        decoding pipeline consumes.
+        decoding pipeline consumes.  The hot path never calls this:
+        the engine consumes :meth:`sample_packed` directly.
         """
-        det, obs = self.sample_packed(shots, seed=seed)
+        shard = self.sample_packed(shots, seed=seed)
         return SampleResult(
-            measurements=np.zeros((shots, 0), dtype=bool),
-            detectors=unpack_bool_rows(det, self.num_detectors),
-            observables=unpack_bool_rows(obs, self.num_observables),
+            measurements=np.zeros((shard.shots, 0), dtype=bool),
+            detectors=shard.detectors,
+            observables=shard.observables,
         )

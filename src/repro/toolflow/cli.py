@@ -119,6 +119,7 @@ def cmd_sweep(args) -> int:
         target_failures=args.target_failures,
         max_shots=args.max_shots,
         sampler=args.sampler,
+        target_rel_stderr=args.target_rel_stderr,
     )
     explorer = DesignSpaceExplorer(code_name=args.code, seed=args.seed)
     records = explorer.sweep(
@@ -190,6 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="adaptive mode: stop sampling a design point "
                               "once it shows this many failures (--shots "
                               "becomes the initial tranche)")
+    p_sweep.add_argument("--target-rel-stderr", type=float, default=None,
+                         help="adaptive mode: retire a design point once "
+                              "stderr/ler falls below this bound (may be "
+                              "combined with --target-failures)")
     p_sweep.add_argument("--max-shots", type=int, default=None,
                          help="adaptive mode: per-point shot budget "
                               "(default: 100x --shots)")
@@ -215,7 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "circuit replay (pre-fast-path keys and "
                               "shard RNG streams)")
     p_sweep.add_argument("--progress", action="store_true",
-                         help="per-job progress lines on stderr")
+                         help="per-job progress lines on stderr, plus an "
+                              "end-of-sweep summary with compilation-cache "
+                              "and syndrome-memo (dedupe) statistics")
     _add_common(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 

@@ -1,4 +1,5 @@
-"""Deduplicated batch decoding: exactness, memoisation, mixin sharing."""
+"""Deduplicated batch decoding: exactness, memoisation, mixin sharing,
+and the packed ``decode_packed_batch`` decoder protocol."""
 
 import numpy as np
 import pytest
@@ -12,8 +13,9 @@ from repro.decoders import (
     SyndromeMemo,
     UnionFindDecoder,
     decode_batch_dedup,
+    decode_packed_dedup,
 )
-from repro.sim import FrameSimulator, circuit_to_dem
+from repro.sim import FrameSimulator, PackedShard, circuit_to_dem, pack_bool_rows
 
 
 @pytest.fixture(scope="module")
@@ -105,6 +107,88 @@ class TestSyndromeMemo:
         )
         out = decode_batch_dedup(lambda row: int(2 * row[0] + row[1]), rows)
         assert out.tolist() == [2, 1, 2, 0, 1]
+
+
+class TestPackedProtocol:
+    """The packed-native decoder protocol must agree with the boolean
+    boundary APIs on every decoder."""
+
+    def test_decode_packed_batch_matches_boolean(self, setup):
+        dem, graph, sample = setup
+        words = pack_bool_rows(sample.detectors)
+        for decoder in _decoders(dem, graph):
+            packed = decoder.decode_packed_batch(words)
+            ref = decoder.decode_batch(sample.detectors, dedupe=False)
+            assert np.array_equal(packed, ref), type(decoder).__name__
+
+    def test_logical_failures_packed_matches_boolean(self, setup):
+        dem, graph, sample = setup
+        shard = PackedShard.from_bool(sample.detectors, sample.observables)
+        for decoder in _decoders(dem, graph):
+            packed = decoder.logical_failures_packed(
+                shard.det_words, shard.obs_words
+            )
+            ref = decoder.logical_failures(
+                sample.detectors, sample.observables, dedupe=False
+            )
+            assert np.array_equal(packed, ref), type(decoder).__name__
+
+    def test_packed_dedupe_off_reference_path(self, setup):
+        dem, graph, sample = setup
+        words = pack_bool_rows(sample.detectors[:200])
+        decoder = MwpmDecoder(graph)
+        on = decoder.decode_packed_batch(words, dedupe=True)
+        off = decoder.decode_packed_batch(words, dedupe=False)
+        assert np.array_equal(on, off)
+
+    def test_memo_shared_between_packed_and_boolean_entry(self, setup):
+        dem, graph, sample = setup
+        decoder = MwpmDecoder(graph)
+        words = pack_bool_rows(sample.detectors[:500])
+        decoder.decode_packed_batch(words)
+        memo = decoder.syndrome_memo()
+        distinct = len(memo)
+        assert distinct > 0 and memo.misses == distinct
+        # The boolean entry packs to the same words: all hits.
+        decoder.decode_batch(sample.detectors[:500])
+        assert memo.misses == distinct and memo.hits == distinct
+
+    def test_decode_unique_words_sees_only_distinct_misses(self, setup):
+        dem, graph, sample = setup
+        seen_batches = []
+
+        class Probe(BatchDecoderMixin):
+            num_detectors = sample.detectors.shape[1]
+
+            def decode(self, row):
+                return 0
+
+            def decode_unique_words(self, det_words):
+                seen_batches.append(len(det_words))
+                return np.zeros(len(det_words), dtype=np.int64)
+
+        probe = Probe()
+        words = pack_bool_rows(sample.detectors)
+        distinct = len(np.unique(words, axis=0))
+        probe.decode_packed_batch(words)
+        assert seen_batches == [distinct]  # one batched call, misses only
+        probe.decode_packed_batch(words)
+        assert seen_batches == [distinct]  # second pass: all memo hits
+
+    def test_decode_packed_dedup_validates_correction_count(self):
+        words = pack_bool_rows(np.eye(4, dtype=bool))
+        with pytest.raises(ValueError, match="corrections"):
+            decode_packed_dedup(lambda uniq: np.zeros(1, dtype=np.int64), words)
+
+    def test_memo_snapshot_and_stats(self):
+        memo = SyndromeMemo(limit=8)
+        assert memo.snapshot() == (0, 0, 0)
+        rows = np.eye(3, dtype=bool)
+        decode_batch_dedup(lambda row: int(row.argmax()), rows, memo=memo)
+        assert memo.snapshot() == (0, 3, 3)
+        assert memo.stats() == {
+            "hits": 0, "misses": 3, "entries": 3, "limit": 8,
+        }
 
 
 class TestMixinSharing:

@@ -15,6 +15,7 @@ from repro.sim import (
     DemSampler,
     DetectorErrorModel,
     FrameSimulator,
+    PackedShard,
     circuit_to_dems,
     pack_bool_rows,
     unpack_bool_rows,
@@ -42,6 +43,44 @@ class TestBitPacking:
         packed = pack_bool_rows(rows)
         assert packed[0, 0] == 1
         assert packed[0, 1] == 2
+
+
+class TestPackedShard:
+    def test_from_bool_round_trips(self):
+        rng = np.random.default_rng(3)
+        det = rng.random((9, 70)) < 0.3
+        obs = rng.random((9, 2)) < 0.5
+        shard = PackedShard.from_bool(det, obs)
+        assert shard.shots == 9
+        assert shard.num_detectors == 70 and shard.num_observables == 2
+        assert shard.det_words.dtype == np.uint64
+        assert np.array_equal(shard.detectors, det)
+        assert np.array_equal(shard.observables, obs)
+
+    def test_observable_bits_reads_packed_words(self):
+        rng = np.random.default_rng(4)
+        obs = rng.random((50, 3)) < 0.5
+        shard = PackedShard.from_bool(np.zeros((50, 5), dtype=bool), obs)
+        for index in range(3):
+            assert np.array_equal(shard.observable_bits(index), obs[:, index])
+        with pytest.raises(ValueError):
+            shard.observable_bits(3)
+
+    def test_from_bool_rejects_shot_mismatch(self):
+        with pytest.raises(ValueError):
+            PackedShard.from_bool(
+                np.zeros((3, 2), dtype=bool), np.zeros((2, 1), dtype=bool)
+            )
+
+    def test_sample_packed_matches_boolean_sample(self):
+        dem = DetectorErrorModel(3, 1)
+        dem.errors.append(DemError((0,), (0,), 0.2))
+        dem.errors.append(DemError((0, 1), (), 0.1))
+        sampler = DemSampler(dem)
+        shard = sampler.sample_packed(300, seed=9)
+        sample = sampler.sample(300, seed=9)
+        assert np.array_equal(shard.detectors, sample.detectors)
+        assert np.array_equal(shard.observables, sample.observables)
 
 
 class TestDemSampler:
@@ -84,9 +123,21 @@ class TestDemSampler:
         assert not sample.detectors.any()
         assert not sample.observables.any()
 
-    def test_rejects_nonpositive_shots(self):
+    def test_rejects_negative_shots(self):
         with pytest.raises(ValueError):
-            DemSampler(self._simple_dem()).sample(0)
+            DemSampler(self._simple_dem()).sample(-1)
+
+    def test_zero_shots_returns_empty(self):
+        # The scheduler's last adaptive tranche can round to zero
+        # shots; that must yield empty arrays, not an error.
+        sampler = DemSampler(self._simple_dem())
+        shard = sampler.sample_packed(0)
+        assert shard.shots == 0
+        assert shard.det_words.shape == (0, sampler.det_words.shape[1])
+        assert shard.detectors.shape == (0, 3)
+        sample = sampler.sample(0)
+        assert sample.detectors.shape == (0, 3)
+        assert sample.observables.shape == (0, 1)
 
     def test_hyperedge_mechanisms_fire_atomically(self):
         # from_circuit must sample the exact (undecomposed) DEM: a

@@ -388,6 +388,148 @@ class TestAdaptiveAllocation:
         assert all(r.resumed for r in third)
 
 
+class TestPrecisionStopping:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="target_rel_stderr must be"):
+            small_spec(target_rel_stderr=0.0)
+        with pytest.raises(ValueError, match="initial tranche"):
+            small_spec(shots=0, target_rel_stderr=0.5)
+        # A precision target alone enables adaptive mode (max_shots
+        # defaults to 100 tranches, as with target_failures).
+        spec = small_spec(shots=100, target_rel_stderr=0.2)
+        assert spec.max_shots == 10000
+        assert all(j.adaptive for j in spec.expand())
+
+    def test_precision_target_is_job_content(self):
+        fixed = small_spec(distances=(2,)).expand()[0]
+        precise = small_spec(
+            distances=(2,), target_rel_stderr=0.25, max_shots=2048
+        ).expand()[0]
+        assert fixed.key != precise.key
+        assert "rse0.25" in precise.key
+        clone = SweepJob.from_dict(precise.to_dict())
+        assert clone == precise and clone.key == precise.key
+
+    def test_unset_precision_target_leaves_keys_bit_identical(self):
+        # target_rel_stderr=None must hash exactly like releases that
+        # had no such field, for both fixed and failure-target jobs.
+        job = small_spec(distances=(2,)).expand()[0]
+        stripped = {
+            k: v for k, v in job.to_dict().items() if k != "target_rel_stderr"
+        }
+        assert SweepJob.from_dict(stripped).key == job.key
+        adaptive = adaptive_spec(distances=(2,)).expand()[0]
+        stripped = {
+            k: v
+            for k, v in adaptive.to_dict().items()
+            if k != "target_rel_stderr"
+        }
+        assert SweepJob.from_dict(stripped).key == adaptive.key
+
+    def test_noisy_point_retires_at_precision_bound(self):
+        # d=2 fails often, so a loose relative-stderr bound is reached
+        # long before the shot budget; the bound must hold at retirement.
+        spec = adaptive_spec(
+            distances=(2,), target_failures=None, target_rel_stderr=0.4,
+            max_shots=4096,
+        )
+        [result] = run_sweep(spec, shard_shots=SHARD)
+        assert result.extras["adaptive"]["converged"]
+        assert result.extras["adaptive"]["target_rel_stderr"] == 0.4
+        assert result.shots < spec.max_shots
+        assert result.ler.rel_stderr <= 0.4
+
+    def test_zero_failures_never_satisfies_precision(self):
+        # With no observed failures the smoothed rel-stderr plateaus
+        # near sqrt(2): the job must burn its budget, not retire early.
+        from repro.engine.scheduler import JobState
+
+        state = JobState("k", None, "mwpm", [], target_rel_stderr=1.0)
+        state.shots_done = 10 ** 6
+        assert not state.converged
+        state.failures = 10
+        assert state.converged
+
+    def test_loose_precision_bound_cannot_retire_without_failures(self):
+        # The zero-failure rel-stderr approaches sqrt(2) from *below*
+        # (sqrt(2*(1-p))), so a bound like 1.4 would retire a fresh
+        # zero-failure job without the explicit failures > 0 guard.
+        from repro.engine.scheduler import JobState
+
+        state = JobState("k", None, "mwpm", [], target_rel_stderr=1.4)
+        state.shots_done = 2
+        assert state.rel_stderr <= 1.4  # the trap the guard defuses
+        assert not state.converged
+        state.failures = 1
+        assert state.converged
+
+    def test_precision_only_stopping_through_estimator_api(self):
+        # min_failures=None must reach the scheduler as a pure
+        # precision target (otherwise the default failure count fires
+        # first and caps the achievable precision).
+        from repro.engine.runner import sample_adaptive
+        from repro.ler import estimate_until_failures
+
+        circ = ideal_memory_circuit(
+            RepetitionCode(2), rounds=2, noise=UniformNoise(0.05)
+        )
+        result = estimate_until_failures(
+            circ, rounds=2, min_failures=None, target_rel_stderr=0.3,
+            max_shots=40000, batch=200, seed=3,
+        )
+        assert result.failures > 0
+        assert result.rel_stderr <= 0.3
+        with pytest.raises(ValueError, match="min_failures and/or"):
+            estimate_until_failures(circ, rounds=2, min_failures=None)
+        with pytest.raises(ValueError, match="target_failures and/or"):
+            sample_adaptive(circ, target_failures=None)
+
+    def test_precision_convergence_latches(self):
+        # rel_stderr *rises* with shots at fixed failures, so a
+        # zero-failure in-flight shard landing after the bound was met
+        # must not un-retire the job and resume submission.
+        from repro.engine.scheduler import JobState
+
+        state = JobState("k", None, "mwpm", [], target_rel_stderr=0.3)
+        state.shots_done, state.failures = 100, 10
+        assert state.rel_stderr <= 0.3
+        assert state.converged
+        state.shots_done = 5000  # straggler shards, no new failures
+        assert state.rel_stderr > 0.3
+        assert state.converged  # latched: the target was satisfied
+
+
+class TestMemoStats:
+    def test_memo_stats_flow_to_extras_and_summary(self, capsys):
+        from repro.engine import ProgressReporter
+
+        reporter = ProgressReporter(enabled=True, stream=sys.stdout)
+        spec = small_spec(distances=(2,), shots=256)
+        [result] = run_sweep(spec, shard_shots=64, progress=reporter)
+        memo = result.extras["memo"]
+        # Four shards of the same noisy circuit: the cross-shard memo
+        # must see both misses (first sightings) and entries.
+        assert memo["misses"] > 0
+        assert memo["entries"] > 0
+        assert memo["hits"] + memo["misses"] > 0
+        out = capsys.readouterr().out
+        assert "memo:" in out and "peak entries" in out
+
+    def test_finish_accepts_missing_memo_stats(self, capsys):
+        from repro.engine import ProgressReporter
+
+        reporter = ProgressReporter(enabled=True, stream=sys.stdout)
+        reporter.start(1)
+        reporter.finish({"misses": 1})  # no memo stats at all
+        assert "memo:" not in capsys.readouterr().out
+
+    def test_memo_stats_cross_worker_aggregation(self):
+        spec = small_spec(distances=(2,), shots=512)
+        [result] = run_sweep(spec, workers=2, shard_shots=64)
+        memo = result.extras["memo"]
+        assert memo["misses"] > 0  # every worker decodes its first sightings
+
+
 class CountingBackend(MultiprocessBackend):
     """Records every worker message so tests can audit priming traffic."""
 
