@@ -54,7 +54,16 @@ def _shared_backend():
     Sharing the backend keeps the workers' per-process circuit /
     decoder memos alive across all benchmark sweeps instead of paying
     pool startup per ``ler_point`` call; the pool dies with pytest.
+    ``REPRO_BENCH_WORKERS_ADDR=host:port,...`` swaps in the socket
+    backend instead: the grids fan out to already-running
+    ``repro-worker`` processes (shard seeds are fixed by the master
+    seed, so every measured number is unchanged).
     """
+    addrs = os.environ.get("REPRO_BENCH_WORKERS_ADDR", "")
+    if addrs:
+        from repro.engine.remote import RemoteBackend
+
+        return RemoteBackend(addrs)
     workers = bench_workers()
     return MultiprocessBackend(max_workers=workers) if workers > 1 else None
 

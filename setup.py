@@ -2,4 +2,13 @@
 
 from setuptools import setup
 
-setup()
+setup(
+    entry_points={
+        "console_scripts": [
+            # Shard worker for the distributed (socket) sweep backend.
+            "repro-worker=repro.engine.remote:main",
+            # Design-space exploration CLI (evaluate / sweep / project).
+            "repro-sweep=repro.toolflow.cli:main",
+        ],
+    },
+)

@@ -11,11 +11,16 @@ The uniform harness behind the paper's figure sweeps:
   matrices), so each unique circuit is compiled exactly once per sweep;
   the disk layer is LRU-size-bounded via ``max_disk_mb`` (``cache.py``);
 - :class:`Runner` / :func:`run_sweep` with pluggable backends —
-  :class:`SerialBackend` and a :class:`MultiprocessBackend` that shards
+  :class:`SerialBackend`, a :class:`MultiprocessBackend` that shards
   shots over workers with independent ``SeedSequence`` streams and
-  merges failure counts bit-identically (``runner.py``);
-- :class:`ResultStore` / :class:`JobResult` — JSON-lines persistence
-  with resume: already-completed job keys are skipped (``results.py``);
+  merges failure counts bit-identically, and a socket
+  :class:`RemoteBackend` speaking the same worker protocol to
+  ``repro-worker`` processes on other machines, with worker crash
+  recovery (``runner.py``, ``remote.py``);
+- :class:`ResultStore` / :class:`JobResult` / :class:`ShardRecord` —
+  JSON-lines persistence with resume at job *and* shard granularity:
+  completed job keys are skipped, and an interrupted job resumes from
+  its checkpointed shards (``results.py``);
 - :class:`ProgressReporter` — per-job narration (``progress.py``).
 
 Quick start
@@ -29,13 +34,16 @@ True
 
 from .cache import CompilationCache, CompiledCircuit, circuit_key
 from .progress import ProgressReporter
-from .results import JobResult, ResultStore
+from .results import JobResult, ResultStore, ShardRecord
 from .runner import (
     DEFAULT_SHARD_SHOTS,
     MultiprocessBackend,
+    NoLiveWorkersError,
     Runner,
     SerialBackend,
     Shard,
+    ShardExecutor,
+    WorkerPoolBackend,
     compile_design_point,
     plan_shards,
     run_sweep,
@@ -43,6 +51,18 @@ from .runner import (
 )
 from .scheduler import JobState, ShardOutcome, ShardTask, StreamScheduler
 from .sweep import SweepJob, SweepSpec
+
+
+def __getattr__(name):
+    # Lazy so that ``python -m repro.engine.remote`` (the worker entry
+    # point) doesn't find the module pre-imported by its own package —
+    # runpy warns about that — and plain engine users don't pay the
+    # socket machinery import.
+    if name == "RemoteBackend":
+        from .remote import RemoteBackend
+
+        return RemoteBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "SweepSpec",
@@ -55,12 +75,17 @@ __all__ = [
     "sample_adaptive",
     "SerialBackend",
     "MultiprocessBackend",
+    "RemoteBackend",
+    "WorkerPoolBackend",
+    "ShardExecutor",
+    "NoLiveWorkersError",
     "Shard",
     "plan_shards",
     "compile_design_point",
     "DEFAULT_SHARD_SHOTS",
     "JobResult",
     "ResultStore",
+    "ShardRecord",
     "ProgressReporter",
     "StreamScheduler",
     "JobState",

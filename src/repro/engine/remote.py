@@ -1,0 +1,420 @@
+"""Socket-based distributed execution backend.
+
+``RemoteBackend`` speaks the engine's streaming backend protocol
+(``capacity`` / ``submit`` / ``poll`` / ``wait`` / ``take_lost``) over
+TCP connections to ``repro-worker`` processes — the same worker
+messages as the multiprocessing backend (prime once per (worker,
+circuit), tiny shard tuples), serialised as length-prefixed pickle
+frames.  The worker side runs the very same
+:class:`~repro.engine.runner.ShardExecutor` as a multiprocessing
+worker; only the transport differs.
+
+Launch workers anywhere the driver can reach::
+
+    repro-worker --listen 0.0.0.0:7930            # or: python -m repro.engine.remote
+    repro-worker --listen 0.0.0.0:7931
+
+then point a sweep at them::
+
+    python -m repro.toolflow.cli sweep --distances 3 5 --shots 20000 \
+        --backend remote --workers-addr host1:7930,host1:7931
+
+Fault tolerance: a worker that dies mid-sweep (crash, SIGKILL, network
+partition — anything that closes or breaks the socket) is disowned;
+the scheduler resubmits its in-flight shards, with their original RNG
+seeds, to the surviving workers, so failure counts stay bit-identical
+to a crash-free run.  When *no* worker survives, the backend raises
+:class:`~repro.engine.runner.NoLiveWorkersError` instead of hanging.
+
+Trust model: frames are **pickle** — the worker executes what the
+driver sends and trusts it completely (and vice versa).  Run workers
+only on hosts/networks you control, exactly like a multiprocessing
+pool stretched across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import select
+import socket
+import struct
+import sys
+
+from .runner import (
+    NoLiveWorkersError,
+    ShardExecutor,
+    ShardOutcome,
+    WorkerPoolBackend,
+    _WorkerDied,
+    handle_worker_message,
+)
+
+PROTOCOL_VERSION = 1
+_HEADER = struct.Struct(">I")
+# A frame is bounded by the largest prime payload (two DEM JSONs plus
+# the all-pairs distance matrices) — far below this, but cap it so a
+# corrupt/hostile header cannot trigger a giant allocation.
+_MAX_FRAME = 1 << 31
+
+
+def _encode_frame(message) -> bytes:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload)) + payload
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``."""
+    host, sep, port = addr.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker address {addr!r} is not host:port")
+    return host, int(port)
+
+
+def parse_addrs(addrs) -> list[tuple[str, int]]:
+    """A comma-separated address string (or iterable) -> address list."""
+    if isinstance(addrs, str):
+        addrs = [a for a in addrs.split(",") if a.strip()]
+    parsed = []
+    for addr in addrs:
+        parsed.append(addr if isinstance(addr, tuple) else parse_addr(addr.strip()))
+    if not parsed:
+        raise ValueError("need at least one worker address")
+    return parsed
+
+
+# ----------------------------------------------------------------------
+# Worker side (repro-worker)
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes, or ``None`` on a clean/broken EOF."""
+    chunks = []
+    while n:
+        try:
+            chunk = sock.recv(min(n, 1 << 20))
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket):
+    """Blocking read of one frame; ``None`` on EOF/reset."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        return None
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return pickle.loads(payload)
+
+
+def _serve_connection(conn: socket.socket) -> None:
+    """One driver session: hello, then prime/dmat/shard until stop/EOF.
+
+    Executor state is per-connection — a new driver always reprimes,
+    so stale circuits can never leak between sweeps.
+    """
+    conn.sendall(_encode_frame(("hello", PROTOCOL_VERSION)))
+    executor = ShardExecutor()
+    while True:
+        message = _recv_frame(conn)
+        if message is None or message[0] == "stop":
+            return
+        reply = handle_worker_message(executor, message)
+        if reply is not None:
+            conn.sendall(_encode_frame(reply))
+
+
+def serve(listen: str = "127.0.0.1:0", *, serve_forever: bool = False,
+          stream=None) -> None:
+    """Run a shard worker: listen, announce the bound address, serve.
+
+    Announces ``repro-worker listening on host:port`` on ``stream``
+    (default stdout) so launchers using port 0 can discover the bound
+    port.  By default the worker exits when its driver disconnects —
+    the right lifetime for job scripts and CI; ``serve_forever`` keeps
+    it accepting one driver after another (a long-lived pool node).
+    """
+    stream = stream if stream is not None else sys.stdout
+    host, port = parse_addr(listen)
+    with socket.create_server((host, port)) as listener:
+        bound_host, bound_port = listener.getsockname()[:2]
+        print(f"repro-worker listening on {bound_host}:{bound_port}",
+              file=stream, flush=True)
+        while True:
+            conn, _peer = listener.accept()
+            try:
+                with conn:
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    _serve_connection(conn)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                pass  # driver vanished mid-frame: drop the session
+            if not serve_forever:
+                return
+
+
+def main(argv=None) -> int:
+    """``repro-worker`` console entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Shard worker for the sweep engine's remote backend "
+                    "(see repro.engine.remote).",
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="address to listen on (port 0 = pick a free port and "
+             "announce it on stdout; default %(default)s)",
+    )
+    parser.add_argument(
+        "--serve-forever", action="store_true",
+        help="keep accepting new drivers after one disconnects "
+             "(default: exit with the first driver)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        serve(args.listen, serve_forever=args.serve_forever)
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+class _Connection:
+    """Driver-side state of one worker link."""
+
+    __slots__ = ("addr", "sock", "buffer", "alive")
+
+    def __init__(self, addr: tuple[str, int], sock: socket.socket):
+        self.addr = addr
+        self.sock = sock
+        self.buffer = bytearray()
+        self.alive = True
+
+
+class RemoteBackend(WorkerPoolBackend):
+    """Streams shot shards to ``repro-worker`` processes over TCP.
+
+    Accepts the same tasks as the in-process backends and keeps the
+    engine's contracts: deterministic shard seeds (so distributed
+    failure counts match serial bit for bit), once-per-(worker,
+    circuit) priming, epoch-tagged abandonment for shared backends,
+    and crash recovery — a broken socket disowns that worker's
+    in-flight shards for the scheduler to resubmit to survivors.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        addrs,
+        *,
+        queue_depth: int = 2,
+        connect_timeout: float = 10.0,
+        send_timeout: float = 60.0,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        self.addrs = parse_addrs(addrs)
+        self.queue_depth = queue_depth
+        self.connect_timeout = connect_timeout
+        self.send_timeout = send_timeout
+        self._conns: list[_Connection] = []
+        self._init_pool()
+
+    # transport hooks ---------------------------------------------------
+    def _worker_slots(self) -> int:
+        if not self._conns:
+            return len(self.addrs)
+        return sum(1 for conn in self._conns if conn.alive)
+
+    def _live_workers(self) -> list[int]:
+        return [w for w, conn in enumerate(self._conns) if conn.alive]
+
+    def _ensure_workers(self) -> None:
+        if self._conns:
+            return
+        for addr in self.addrs:
+            try:
+                sock = socket.create_connection(addr, timeout=self.connect_timeout)
+            except OSError as exc:
+                self._teardown()
+                raise ConnectionError(
+                    f"cannot reach repro-worker at {addr[0]}:{addr[1]}: {exc}"
+                ) from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(addr, sock)
+            hello = self._blocking_frame(conn)
+            if not (isinstance(hello, tuple) and hello[:1] == ("hello",)):
+                self._teardown()
+                raise ConnectionError(
+                    f"worker at {addr[0]}:{addr[1]} did not say hello "
+                    f"(got {hello!r}) — is it a repro-worker?"
+                )
+            sock.settimeout(None)
+            sock.setblocking(False)
+            self._conns.append(conn)
+            self._load.append(0)
+
+    def _send(self, worker: int, message: tuple) -> None:
+        conn = self._conns[worker]
+        try:
+            # Bounded, not plain blocking: a wedged-but-connected
+            # worker (or a silently-dropping partition) whose receive
+            # buffer fills must surface as a death within
+            # ``send_timeout``, not stall the whole driver inside
+            # submit — crash recovery can only fire on an error.
+            conn.sock.settimeout(self.send_timeout)
+            conn.sock.sendall(_encode_frame(message))
+            conn.sock.setblocking(False)
+        except OSError:  # includes socket.timeout
+            self._worker_died(worker)
+            raise _WorkerDied(worker) from None
+
+    # ------------------------------------------------------------------
+    def _blocking_frame(self, conn: _Connection):
+        """One frame during the (blocking) handshake phase."""
+        conn.sock.settimeout(self.connect_timeout)
+        return _recv_frame(conn.sock)
+
+    def _worker_died(self, worker: int) -> None:
+        conn = self._conns[worker]
+        if not conn.alive:
+            return
+        conn.alive = False
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._forget_worker(worker)
+
+    def _drain(self, timeout: float) -> list[ShardOutcome]:
+        """Read whatever the live workers sent within ``timeout``."""
+        outcomes: list[ShardOutcome] = []
+        # A socket can become invalid under us (closed by a signal
+        # handler, torn down by a test's partition simulation): treat
+        # that exactly like a death noticed via EOF.
+        for worker, conn in enumerate(self._conns):
+            if conn.alive and conn.sock.fileno() < 0:
+                self._worker_died(worker)
+        live = [conn for conn in self._conns if conn.alive]
+        if not live:
+            return outcomes
+        try:
+            readable, _, _ = select.select(
+                [c.sock for c in live], [], [], timeout
+            )
+        except (OSError, ValueError):
+            # A descriptor went bad between the fileno() sweep and the
+            # select: reap it on the next pass.
+            return outcomes
+        ready = {id(sock) for sock in readable}
+        for worker, conn in enumerate(self._conns):
+            if not conn.alive or id(conn.sock) not in ready:
+                continue
+            try:
+                chunk = conn.sock.recv(1 << 20)
+            except BlockingIOError:
+                continue
+            except OSError:
+                chunk = b""
+            if not chunk:
+                # EOF / reset: the worker is gone; disown its shards.
+                self._worker_died(worker)
+                continue
+            conn.buffer.extend(chunk)
+            for message in self._parse_buffer(conn):
+                outcome = self._handle(message)
+                if outcome is not None:
+                    outcomes.append(outcome)
+        return outcomes
+
+    @staticmethod
+    def _parse_buffer(conn: _Connection):
+        messages = []
+        buffer = conn.buffer
+        while len(buffer) >= _HEADER.size:
+            (length,) = _HEADER.unpack(buffer[:_HEADER.size])
+            if len(buffer) < _HEADER.size + length:
+                break
+            payload = bytes(buffer[_HEADER.size:_HEADER.size + length])
+            del buffer[:_HEADER.size + length]
+            messages.append(pickle.loads(payload))
+        return messages
+
+    # ------------------------------------------------------------------
+    def poll(self) -> list[ShardOutcome]:
+        if not self._conns:
+            return []
+        return self._drain(0.0)
+
+    def wait(self, poll_interval: float = 0.2) -> list[ShardOutcome]:
+        """Block until a shard finishes or a worker's death is noticed.
+
+        Returns an empty list when shards were lost (the scheduler
+        reaps them via ``take_lost`` and resubmits to survivors) and
+        raises :class:`NoLiveWorkersError` once nobody is left to wait
+        for — never hangs on a dead pool.
+        """
+        while True:
+            outcomes = self._drain(poll_interval)
+            if outcomes:
+                return outcomes
+            if self._lost:
+                return []  # losses for the scheduler to recover
+            if not self._live_workers():
+                raise NoLiveWorkersError(
+                    f"all {len(self._conns)} remote worker(s) disconnected "
+                    f"with {len(self._dispatch)} shard(s) in flight"
+                )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Graceful shutdown: tell every live worker to stop, disconnect."""
+        for worker, conn in enumerate(self._conns):
+            if not conn.alive:
+                continue
+            try:
+                self._send(worker, ("stop",))
+            except _WorkerDied:
+                continue
+        self._teardown()
+
+    def terminate(self) -> None:
+        """Hard shutdown: drop the connections (interrupt path).
+
+        Workers notice the EOF, abandon the session, and — unless
+        launched with ``--serve-forever`` — exit.
+        """
+        self._teardown()
+
+    def _teardown(self) -> None:
+        for conn in self._conns:
+            if conn.alive:
+                try:
+                    conn.sock.close()
+                except OSError:
+                    pass
+        self._conns = []
+        self._init_pool()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, *exc):
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

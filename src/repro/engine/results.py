@@ -6,6 +6,17 @@ sweep against the same store skips every job whose key is already
 present — the property that makes long sweeps interruptible.  Loading
 is tolerant of a truncated final line (the signature of a run killed
 mid-write).
+
+The store also checkpoints at **shard** granularity: the runner
+appends one :class:`ShardRecord` line per completed shot shard, so a
+job interrupted mid-sampling resumes from its surviving shards instead
+of restarting.  Shard lines are written *before* the job's final
+record and are superseded by it — ``load_shards`` only surfaces shard
+records appended after the key's latest job record, and ``compact``
+rewrites the file without the superseded lines.  Stores written before
+shard checkpointing existed simply contain no shard lines (and old
+readers skip shard lines as unparseable), so the format is compatible
+in both directions.
 """
 
 from __future__ import annotations
@@ -90,14 +101,63 @@ class JobResult:
         )
 
 
+@dataclass
+class ShardRecord:
+    """One checkpointed shot shard of a job still being sampled.
+
+    Carries everything needed to credit the shard to a resumed job
+    without re-executing it: the tallies, and the ``run_config`` the
+    sample was drawn under (a shard sampled under a different master
+    seed or shard layout belongs to a different experiment and must
+    not be credited).
+    """
+
+    job_key: str
+    shard_index: int
+    shots: int
+    failures: int
+    elapsed_s: float = 0.0
+    run_config: dict = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict:
+        # The top-level "shard" wrapper is the format discriminator:
+        # pre-checkpoint readers fail to parse it as a JobResult (no
+        # "job" field) and skip the line as corrupt, which is exactly
+        # the backward-compatible behaviour we want.
+        return {
+            "shard": {
+                "job_key": self.job_key,
+                "shard_index": self.shard_index,
+                "shots": self.shots,
+                "failures": self.failures,
+                "elapsed_s": self.elapsed_s,
+                "run_config": self.run_config,
+            }
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "ShardRecord":
+        body = data["shard"]
+        return cls(
+            job_key=str(body["job_key"]),
+            shard_index=int(body["shard_index"]),
+            shots=int(body["shots"]),
+            failures=int(body["failures"]),
+            elapsed_s=float(body.get("elapsed_s", 0.0)),
+            run_config=dict(body.get("run_config", {})),
+        )
+
+
 class ResultStore:
-    """Append-only JSONL store of :class:`JobResult` records.
+    """Append-only JSONL store of :class:`JobResult` records and
+    :class:`ShardRecord` checkpoints.
 
     Loads are memoized against the file's stat signature: polling
     ``len(store)`` / ``completed_keys()`` during a sweep costs one
     ``stat`` instead of re-parsing the whole JSONL (O(n²) over a sweep
-    otherwise).  ``append`` keeps the memo coherent; a write by
-    another process changes the signature and forces a re-read.
+    otherwise).  ``append`` / ``append_shard`` keep the memo coherent;
+    a write by another process changes the signature and forces a
+    re-read.
     """
 
     def __init__(self, path: str):
@@ -105,6 +165,7 @@ class ResultStore:
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         self._cache: dict[str, JobResult] | None = None
+        self._shards: dict[str, dict[int, ShardRecord]] = {}
         self._signature: tuple[int, int] | None = None
         self.file_reads = 0  # parse passes over the file (for tests)
 
@@ -115,37 +176,81 @@ class ResultStore:
             return None
         return (st.st_mtime_ns, st.st_size)
 
+    def _parse(self):
+        """One pass over the file: ``(jobs, live_shards, keep_lines)``.
+
+        ``keep_lines`` is the set of line numbers a compaction retains:
+        each key's latest job record, plus the shard records that
+        *follow* it (checkpoints of a newer, unfinished sampling of the
+        same key — the final job record supersedes only the shards
+        written before it).
+        """
+        jobs: dict[str, JobResult] = {}
+        job_line: dict[str, int] = {}
+        shard_entries: dict[tuple[str, int], tuple[int, ShardRecord]] = {}
+        with open(self.path) as fh:
+            for line_no, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    if isinstance(data, dict) and "shard" in data:
+                        record = ShardRecord.from_jsonable(data)
+                        shard_entries[(record.job_key, record.shard_index)] = (
+                            line_no, record,
+                        )
+                        continue
+                    result = JobResult.from_jsonable(data)
+                except (ValueError, KeyError, TypeError):
+                    continue  # truncated / corrupt line from an interrupted run
+                jobs[result.key] = result
+                job_line[result.key] = line_no
+        shards: dict[str, dict[int, ShardRecord]] = {}
+        keep = set(job_line.values())
+        for (key, index), (line_no, record) in shard_entries.items():
+            if line_no > job_line.get(key, -1):
+                shards.setdefault(key, {})[index] = record
+                keep.add(line_no)
+        return jobs, shards, keep
+
+    def _refresh(self) -> None:
+        signature = self._stat_signature()
+        if self._cache is not None and signature == self._signature:
+            return
+        if signature is None:
+            self._cache, self._shards = {}, {}
+        else:
+            self.file_reads += 1
+            self._cache, self._shards, _ = self._parse()
+        self._signature = signature
+
     def load(self) -> dict[str, JobResult]:
         """All stored results by job key; silently drops corrupt lines.
 
         Later lines win, so a job re-sampled under a new run
         configuration supersedes the stale record.
         """
-        signature = self._stat_signature()
-        if self._cache is not None and signature == self._signature:
-            return dict(self._cache)
-        results: dict[str, JobResult] = {}
-        if signature is not None:
-            self.file_reads += 1
-            with open(self.path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        data = json.loads(line)
-                        result = JobResult.from_jsonable(data)
-                    except (ValueError, KeyError, TypeError):
-                        continue  # truncated / corrupt line from an interrupted run
-                    results[result.key] = result
-        self._cache = results
-        self._signature = signature
-        return dict(results)
+        self._refresh()
+        return dict(self._cache)
+
+    def load_shards(self, job_key: str) -> dict[int, ShardRecord]:
+        """Checkpointed shards of ``job_key`` not yet superseded by a
+        final job record, by shard index."""
+        self._refresh()
+        return dict(self._shards.get(job_key, {}))
 
     def completed_keys(self) -> set[str]:
         return set(self.load())
 
-    def append(self, result: JobResult) -> None:
+    def _append_line(self, payload: str):
+        """Append one JSONL line with crash-repair and memo accounting.
+
+        Returns ``(fresh, post_signature)`` — whether the memo matched
+        the file before the write *and* the file grew by exactly our
+        payload (no interleaved writer), in which case the caller may
+        extend the memo instead of dropping it.
+        """
         # A run killed mid-write can leave a truncated final line with
         # no newline; appending straight after it would corrupt this
         # record too, so repair the separator first.
@@ -156,7 +261,6 @@ class ResultStore:
             with open(self.path, "rb") as fh:
                 fh.seek(-1, os.SEEK_END)
                 needs_newline = fh.read(1) != b"\n"
-        payload = json.dumps(result.to_jsonable()) + "\n"
         if needs_newline:
             payload = "\n" + payload
         with open(self.path, "a") as fh:
@@ -167,20 +271,84 @@ class ResultStore:
         expected_size = (pre_signature[1] if pre_signature else 0) + len(
             payload.encode()
         )
-        if fresh and post_signature is not None and post_signature[1] == expected_size:
-            # The memo matched the file before our write and the file
-            # grew by exactly our payload (no interleaved writer), so
-            # extending it keeps the two coherent without a re-parse.
+        fresh = (
+            fresh
+            and post_signature is not None
+            and post_signature[1] == expected_size
+        )
+        return fresh, post_signature
+
+    def append(self, result: JobResult) -> None:
+        payload = json.dumps(result.to_jsonable()) + "\n"
+        fresh, post_signature = self._append_line(payload)
+        if fresh:
             # Round-trip the record so the memo is indistinguishable
             # from a disk read (``resumed`` flag, JSON-normalised
-            # values).
+            # values).  The final job record supersedes the key's
+            # checkpointed shards.
             self._cache[result.key] = JobResult.from_jsonable(result.to_jsonable())
+            self._shards.pop(result.key, None)
             self._signature = post_signature
         else:
             # Another process may have written concurrently: drop the
             # memo so the next load re-reads the merged file.
             self._cache = None
+            self._shards = {}
             self._signature = None
+
+    def append_shard(self, record: ShardRecord) -> None:
+        """Checkpoint one completed shard (fsynced, crash-safe)."""
+        payload = json.dumps(record.to_jsonable()) + "\n"
+        fresh, post_signature = self._append_line(payload)
+        if fresh:
+            normalised = ShardRecord.from_jsonable(
+                json.loads(json.dumps(record.to_jsonable()))
+            )
+            self._shards.setdefault(record.job_key, {})[
+                record.shard_index
+            ] = normalised
+            self._signature = post_signature
+        else:
+            self._cache = None
+            self._shards = {}
+            self._signature = None
+
+    def compact(self) -> int:
+        """Rewrite the store without superseded lines; returns the
+        number of lines dropped.
+
+        Superseded means: an older job record for a key that was since
+        re-recorded, or a shard checkpoint written before its key's
+        final job record.  Shard checkpoints of jobs with no final
+        record survive — they are what a resumed run needs.  Not safe
+        against a concurrent writer appending mid-rewrite (the store
+        has a single-writer append model; compaction is for the owner
+        of the sweep).
+        """
+        if self._stat_signature() is None:
+            return 0
+        self.file_reads += 1
+        _jobs, _shards, keep = self._parse()
+        kept_lines = []
+        dropped = 0
+        with open(self.path) as fh:
+            for line_no, line in enumerate(fh):
+                if line_no in keep:
+                    kept_lines.append(line if line.endswith("\n") else line + "\n")
+                elif line.strip():
+                    dropped += 1
+        if dropped == 0:
+            return 0
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            fh.writelines(kept_lines)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._cache = None
+        self._shards = {}
+        self._signature = None
+        return dropped
 
     def __len__(self) -> int:
         return len(self.load())

@@ -11,7 +11,18 @@ Monte-Carlo sampling through the cross-job shard scheduler
   with per-worker task queues, priming each worker at most once per
   unique circuit (circuit text, both DEM payloads, MWPM distance
   matrices) — shard messages carry only ``(circuit key, decoder,
-  sampler, shots, seed)``, never the circuit text or a DEM payload.
+  sampler, shots, seed)``, never the circuit text or a DEM payload;
+- :class:`repro.engine.remote.RemoteBackend` speaks the same worker
+  protocol over TCP sockets to ``repro-worker`` processes on other
+  machines.
+
+The pool backends share :class:`WorkerPoolBackend` (submit-side
+priming / dispatch / crash-recovery bookkeeping) and their workers
+share :class:`ShardExecutor` (worker-side circuit / decoder / sampler
+state), so the transports differ only in how bytes move.  A dead
+worker no longer kills the sweep: its in-flight shards are disowned
+into a lost list the scheduler reaps (``take_lost``) and resubmits to
+survivors with their original seeds.
 
 Both consume the *same* shard plan: a job's shots are split into
 fixed-size shards, and shard ``i`` samples from an independent RNG
@@ -51,7 +62,7 @@ from ..sim.frame import FrameSimulator
 from ..sim.text_format import circuit_from_text
 from .cache import CompilationCache, CompiledCircuit, dem_from_jsonable, dem_to_jsonable
 from .progress import make_progress
-from .results import JobResult, ResultStore
+from .results import JobResult, ResultStore, ShardRecord
 from .scheduler import JobState, ShardOutcome, ShardTask, StreamScheduler
 from .sweep import SweepJob, SweepSpec
 
@@ -199,6 +210,113 @@ class SerialBackend:
     def terminate(self) -> None:
         pass
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, *exc):
+        pass
+
+
+class NoLiveWorkersError(RuntimeError):
+    """Every worker of a pool backend is dead.
+
+    Raised instead of hanging when a sweep still has shards to run but
+    the pool has no survivor to run them on — the caller sees a clear
+    failure within one poll interval, never a silent stall.
+    """
+
+
+class _WorkerDied(Exception):
+    """Internal: a transport send hit a dead worker (already disowned);
+    the submit loop retries on a survivor."""
+
+
+class ShardExecutor:
+    """Worker-side shard execution state.
+
+    Holds the circuits this worker was primed with and the decoders /
+    samplers built from them (lazily, at most once per circuit).
+    Shared by the multiprocessing worker loop and the socket worker
+    (``repro-worker``): both feed it the same prime / dmat / shard
+    messages and differ only in transport.
+    """
+
+    def __init__(self):
+        self._circuits: dict[str, tuple] = {}
+        self._decoders: dict[tuple[str, str], object] = {}
+        self._samplers: dict[str, DemSampler] = {}
+
+    def prime(self, circuit_key, circuit_text, dem_data, sdem_data, dmat) -> None:
+        circuit = circuit_from_text(circuit_text)
+        graph = DetectorGraph.from_dem(dem_from_jsonable(dem_data))
+        if dmat is not None:
+            # Parent-cached all-pairs matrices: this worker's MWPM
+            # decoder skips its own Dijkstra.
+            graph.set_shortest_paths(*dmat)
+        self._circuits[circuit_key] = (circuit, graph, dem_from_jsonable(sdem_data))
+
+    def set_dmat(self, circuit_key, dmat) -> None:
+        # Late distance-matrix delivery: the circuit was primed by a
+        # non-MWPM shard, and an MWPM shard is now on its way.
+        entry = self._circuits.get(circuit_key)
+        if entry is not None and (circuit_key, "mwpm") not in self._decoders:
+            try:
+                entry[1].set_shortest_paths(*dmat)
+            except ValueError:
+                pass  # shape mismatch: let the decoder compute its own
+
+    def run(self, circuit_key, decoder_name, sampler_name, shots, seed):
+        """Sample one shard; returns ``(failures, memo_stats)``."""
+        entry = self._circuits.get(circuit_key)
+        if entry is None:
+            raise RuntimeError(
+                f"shard for unprimed circuit {circuit_key[:12]}…: "
+                "priming protocol violated"
+            )
+        circuit, graph, sampling_dem = entry
+        decoder = self._decoders.get((circuit_key, decoder_name))
+        if decoder is None:
+            decoder = make_decoder(graph, decoder_name)
+            self._decoders[(circuit_key, decoder_name)] = decoder
+        sampler = None
+        if sampler_name == "dem":
+            sampler = self._samplers.get(circuit_key)
+            if sampler is None:
+                sampler = DemSampler(sampling_dem)
+                self._samplers[circuit_key] = sampler
+        return sample_shard(circuit, decoder, Shard(0, shots, seed), sampler=sampler)
+
+
+def handle_worker_message(executor: ShardExecutor, message: tuple):
+    """Process one driver message; returns the reply tuple or ``None``.
+
+    The request/reply state machine shared by both worker transports:
+    ``prime`` / ``dmat`` update the executor (priming errors are
+    reported with ``seq=None``), ``shard`` samples and replies;
+    ``stop`` is the caller's business.
+    """
+    kind = message[0]
+    if kind == "prime":
+        _, circuit_key, circuit_text, dem_data, sdem_data, dmat, epoch = message
+        try:
+            executor.prime(circuit_key, circuit_text, dem_data, sdem_data, dmat)
+        except BaseException:
+            return ("error", None, traceback.format_exc(), 0.0, epoch, None)
+        return None
+    if kind == "dmat":
+        _, circuit_key, dmat, epoch = message
+        executor.set_dmat(circuit_key, dmat)
+        return None
+    _, seq, circuit_key, decoder_name, sampler_name, shots, seed, epoch = message
+    try:
+        t0 = time.perf_counter()
+        failures, memo = executor.run(
+            circuit_key, decoder_name, sampler_name, shots, seed
+        )
+        return ("ok", seq, failures, time.perf_counter() - t0, epoch, memo)
+    except BaseException:
+        return ("error", seq, traceback.format_exc(), 0.0, epoch, None)
+
 
 def _worker_main(task_queue, result_queue) -> None:
     """Worker-process loop: prime once per circuit, then sample shards.
@@ -208,153 +326,104 @@ def _worker_main(task_queue, result_queue) -> None:
     decides when to terminate them.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    circuits: dict[str, tuple] = {}
-    decoders: dict[tuple[str, str], object] = {}
-    samplers: dict[str, DemSampler] = {}
+    executor = ShardExecutor()
     while True:
         message = task_queue.get()
-        kind = message[0]
-        if kind == "stop":
+        if message[0] == "stop":
             break
-        if kind == "prime":
-            _, circuit_key, circuit_text, dem_data, sdem_data, dmat, epoch = message
-            try:
-                circuit = circuit_from_text(circuit_text)
-                graph = DetectorGraph.from_dem(dem_from_jsonable(dem_data))
-                if dmat is not None:
-                    # Parent-cached all-pairs matrices: the worker's
-                    # MWPM decoder skips its own Dijkstra.
-                    graph.set_shortest_paths(*dmat)
-                sampling_dem = dem_from_jsonable(sdem_data)
-                circuits[circuit_key] = (circuit, graph, sampling_dem)
-            except BaseException:
-                result_queue.put(
-                    ("error", None, traceback.format_exc(), 0.0, epoch, None)
-                )
-            continue
-        if kind == "dmat":
-            # Late distance-matrix delivery: the circuit was primed by a
-            # non-MWPM shard, and an MWPM shard is now on its way.
-            _, circuit_key, dmat, epoch = message
-            entry = circuits.get(circuit_key)
-            if entry is not None and (circuit_key, "mwpm") not in decoders:
-                try:
-                    entry[1].set_shortest_paths(*dmat)
-                except ValueError:
-                    pass  # shape mismatch: let the decoder compute its own
-            continue
-        _, seq, circuit_key, decoder_name, sampler_name, shots, seed, epoch = message
-        try:
-            t0 = time.perf_counter()
-            entry = circuits.get(circuit_key)
-            if entry is None:
-                raise RuntimeError(
-                    f"shard for unprimed circuit {circuit_key[:12]}…: "
-                    "priming protocol violated"
-                )
-            circuit, graph, sampling_dem = entry
-            decoder = decoders.get((circuit_key, decoder_name))
-            if decoder is None:
-                decoder = make_decoder(graph, decoder_name)
-                decoders[(circuit_key, decoder_name)] = decoder
-            sampler = None
-            if sampler_name == "dem":
-                sampler = samplers.get(circuit_key)
-                if sampler is None:
-                    sampler = DemSampler(sampling_dem)
-                    samplers[circuit_key] = sampler
-            failures, memo = sample_shard(
-                circuit, decoder, Shard(0, shots, seed), sampler=sampler
-            )
-            result_queue.put(
-                ("ok", seq, failures, time.perf_counter() - t0, epoch, memo)
-            )
-        except BaseException:
-            result_queue.put(
-                ("error", seq, traceback.format_exc(), 0.0, epoch, None)
-            )
+        reply = handle_worker_message(executor, message)
+        if reply is not None:
+            result_queue.put(reply)
 
 
-class MultiprocessBackend:
-    """Fans shot shards out over worker processes with per-worker queues.
+class WorkerPoolBackend:
+    """Submit-side machinery shared by the worker-pool backends.
 
-    Unlike a ``Pool``, the parent controls exactly which worker runs
-    which shard, so it can *prime* each worker with a circuit's text
-    and DEM payload at most once (``prime`` message) and afterwards
-    send only tiny ``(key, decoder, sampler, shots, seed)`` shard
-    messages.
-    Results stream back over a shared queue that the parent polls with
-    an interruptible timed wait — SIGINT reaches the parent promptly
-    instead of languishing behind a blocking ``pool.map``.
+    The multiprocessing and socket (remote) backends dispatch identical
+    messages — ``prime`` (at most once per (worker, circuit): circuit
+    text, both DEM payloads, MWPM distance matrices), late ``dmat``
+    delivery, tiny payload-free ``shard`` tuples, ``stop`` — and
+    receive identical ``("ok"/"error", seq, value, elapsed, epoch,
+    memo)`` replies.  This base owns the bookkeeping: priming state,
+    per-worker load, the seq -> worker dispatch map, abandoned-sweep
+    epochs, and **crash recovery** — a dead worker's in-flight shards
+    are disowned into a lost list that the scheduler reaps via
+    ``take_lost()`` and resubmits to survivors.
+
+    Subclasses provide the transport: ``_ensure_workers`` (start /
+    connect the pool), ``_live_workers`` (surviving worker indices),
+    ``_worker_slots`` (pool size for the capacity hint) and ``_send``
+    (deliver one message, raising :class:`_WorkerDied` after disowning
+    a worker that cannot receive it).
     """
 
-    name = "multiprocess"
+    name = "pool"
+    queue_depth: int = 2
 
-    def __init__(
-        self,
-        max_workers: int | None = None,
-        start_method: str | None = None,
-        queue_depth: int = 2,
-    ):
-        self.max_workers = max_workers if max_workers else (os.cpu_count() or 2)
-        if queue_depth < 1:
-            raise ValueError("queue_depth must be positive")
-        self.queue_depth = queue_depth
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
-        self._ctx = multiprocessing.get_context(start_method)
-        self._procs: list = []
-        self._task_queues: list = []
-        self._result_queue = None
+    def _init_pool(self) -> None:
         self._load: list[int] = []
         self._primed: set[tuple[int, str]] = set()
         # (worker, circuit) pairs whose prime included the MWPM
         # distance matrices (or received them in a late "dmat" send).
         self._dmat_primed: set[tuple[int, str]] = set()
-        self._dem_json: dict[str, dict] = {}
+        self._dem_json: dict[str, tuple] = {}
         # task seq -> (worker index, job key, shots)
         self._dispatch: dict[int, tuple[int, str, int]] = {}
+        # Shards disowned because their worker died, awaiting a
+        # take_lost() reap by the scheduler.
+        self._lost: list[int] = []
+        # Every seq disowned this epoch: a late result for one (queued
+        # by a worker just before it died, possibly racing its own
+        # resubmission) is dropped, or — if the resubmitted copy is in
+        # flight — counted once in its place.
+        self._forgotten: set[int] = set()
         # Bumped by abandon_pending(): results echo the epoch they were
         # submitted under, so shards of an aborted sweep can never be
         # attributed to a later sweep sharing this backend.
         self._epoch = 0
+
+    # transport hooks ---------------------------------------------------
+    def _ensure_workers(self) -> None:
+        raise NotImplementedError
+
+    def _live_workers(self) -> list[int]:
+        raise NotImplementedError
+
+    def _worker_slots(self) -> int:
+        raise NotImplementedError
+
+    def _send(self, worker: int, message: tuple) -> None:
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     @property
     def capacity(self) -> int:
         """Tasks the backend wants in flight: a small per-worker queue
         keeps workers busy without hoarding shards an adaptive job may
-        never need."""
-        return self.max_workers * self.queue_depth
+        never need.  Shrinks as workers die."""
+        return max(1, self._worker_slots()) * self.queue_depth
 
-    def _ensure_workers(self) -> None:
-        if self._procs:
-            return
-        self._result_queue = self._ctx.Queue()
-        for _ in range(self.max_workers):
-            task_queue = self._ctx.Queue()
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(task_queue, self._result_queue),
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
-            self._task_queues.append(task_queue)
-            self._load.append(0)
-
-    def _send(self, worker: int, message: tuple) -> None:
-        """Single dispatch point for worker messages (tests hook this
-        to count priming traffic)."""
-        self._task_queues[worker].put(message)
-
-    # ------------------------------------------------------------------
     def submit(
         self, task: ShardTask, compiled: CompiledCircuit, cache: CompilationCache
     ) -> None:
         self._ensure_workers()
-        worker = self._pick_worker(task.circuit_key)
+        while True:
+            live = self._live_workers()
+            if not live:
+                raise NoLiveWorkersError(
+                    f"{self.name} backend: every worker is dead; cannot run "
+                    f"shard {task.shard_index} of job {task.job_key}"
+                )
+            worker = self._pick_worker(task.circuit_key, live)
+            try:
+                self._dispatch_shard(worker, task, compiled, cache, live)
+            except _WorkerDied:
+                continue  # _send disowned the worker; try a survivor
+            self._load[worker] += 1
+            self._dispatch[task.seq] = (worker, task.job_key, task.shots)
+            return
+
+    def _dispatch_shard(self, worker, task, compiled, cache, live) -> None:
         pair = (worker, task.circuit_key)
         if pair not in self._primed:
             payload = self._dem_json.get(task.circuit_key)
@@ -380,12 +449,10 @@ class MultiprocessBackend:
             self._primed.add(pair)
             if dmat is not None:
                 self._dmat_primed.add(pair)
-            if all(
-                (w, task.circuit_key) in self._primed
-                for w in range(len(self._procs))
-            ):
-                # Every worker holds this circuit now; the serialized
-                # DEM can never be sent again, so stop retaining it.
+            if all((w, task.circuit_key) in self._primed for w in live):
+                # Every live worker holds this circuit now; the
+                # serialized DEM can never be sent again, so stop
+                # retaining it.
                 self._dem_json.pop(task.circuit_key, None)
         elif task.decoder == "mwpm" and pair not in self._dmat_primed:
             # The circuit was primed by a non-MWPM shard, without the
@@ -402,57 +469,55 @@ class MultiprocessBackend:
             ("shard", task.seq, task.circuit_key, task.decoder, task.sampler,
              task.shots, task.seed, self._epoch),
         )
-        self._load[worker] += 1
-        self._dispatch[task.seq] = (worker, task.job_key, task.shots)
 
-    def _pick_worker(self, circuit_key: str) -> int:
-        """Least-loaded worker; among ties, prefer one already primed
-        for this circuit so priming traffic stays minimal."""
-        best = 0
+    def _pick_worker(self, circuit_key: str, live: list[int]) -> int:
+        """Least-loaded live worker; among ties, prefer one already
+        primed for this circuit so priming traffic stays minimal."""
+        best = live[0]
         best_rank = None
-        for worker in range(len(self._procs)):
+        for worker in live:
             primed = (worker, circuit_key) in self._primed
             rank = (self._load[worker], not primed)
             if best_rank is None or rank < best_rank:
                 best, best_rank = worker, rank
         return best
 
-    def poll(self) -> list[ShardOutcome]:
-        outcomes = []
-        if self._result_queue is None:
-            return outcomes
-        while True:
-            try:
-                message = self._result_queue.get_nowait()
-            except queue_module.Empty:
-                return outcomes
-            outcome = self._handle(message)
-            if outcome is not None:
-                outcomes.append(outcome)
+    def _forget_worker(self, worker: int) -> None:
+        """Disown a dead worker: its in-flight shards join the lost
+        list (for scheduler resubmission) and its priming state is
+        dropped so nothing is ever routed to it again."""
+        lost = [
+            seq for seq, (w, _key, _shots) in self._dispatch.items() if w == worker
+        ]
+        for seq in lost:
+            del self._dispatch[seq]
+            self._forgotten.add(seq)
+        self._lost.extend(lost)
+        if worker < len(self._load):
+            self._load[worker] = 0
+        self._primed = {pair for pair in self._primed if pair[0] != worker}
+        self._dmat_primed = {
+            pair for pair in self._dmat_primed if pair[0] != worker
+        }
 
-    def wait(self, poll_interval: float = 0.2) -> list[ShardOutcome]:
-        """Block until at least one shard finishes.
-
-        The timed ``get`` keeps the parent interruptible: a SIGINT
-        lands between polls instead of hanging until a whole job's
-        ``map`` returns.
-        """
-        while True:
-            try:
-                message = self._result_queue.get(timeout=poll_interval)
-            except queue_module.Empty:
-                self._check_alive()
-                continue
-            outcome = self._handle(message)
-            if outcome is None:
-                continue  # stale epoch: keep waiting for live work
-            return [outcome] + self.poll()
+    def take_lost(self) -> list[int]:
+        """Drain the seqs of shards lost to dead workers (scheduler
+        crash-recovery protocol)."""
+        lost, self._lost = self._lost, []
+        return lost
 
     def _handle(self, message) -> ShardOutcome | None:
         kind, seq, value, elapsed_s, epoch, memo = message
         if epoch != self._epoch:
             return None  # shard of an abandoned sweep: silently drop
         dispatched = self._dispatch.pop(seq, None)
+        if dispatched is None and seq in self._forgotten:
+            # Disowned when its worker died: either the result beat the
+            # death notice through a shared queue, or the resubmitted
+            # copy already landed.  Shards are seed-deterministic, so
+            # whichever copy is counted first is the answer; this one
+            # is surplus.
+            return None
         if dispatched is not None:
             worker, job_key, shots = dispatched
             self._load[worker] -= 1
@@ -474,16 +539,145 @@ class MultiprocessBackend:
         """
         self._epoch += 1
         for worker, _job_key, _shots in self._dispatch.values():
-            self._load[worker] -= 1
+            if worker < len(self._load):
+                self._load[worker] -= 1
         self._dispatch.clear()
+        self._lost = []
+        self._forgotten = set()
 
-    def _check_alive(self) -> None:
-        dead = [p for p in self._procs if not p.is_alive()]
-        if dead and self._dispatch:
-            raise RuntimeError(
-                f"{len(dead)} worker process(es) died with "
-                f"{len(self._dispatch)} shard(s) in flight"
+    def begin_session(self) -> None:
+        """Fence off a new sweep's results from an older sweep's.
+
+        Called by the scheduler when it attaches to this backend.  Task
+        sequence numbers restart at zero per scheduler, so without a
+        fresh epoch a *surplus* result left over from a previous sweep
+        on a shared backend (a dead worker's duplicate, still sitting
+        in the shared result queue) could be credited to this sweep's
+        same-numbered shard.  Bumping the epoch makes every stale
+        message identifiable and droppable.
+        """
+        self.abandon_pending()
+
+
+class MultiprocessBackend(WorkerPoolBackend):
+    """Fans shot shards out over worker processes with per-worker queues.
+
+    Unlike a ``Pool``, the parent controls exactly which worker runs
+    which shard, so it can *prime* each worker with a circuit's text
+    and DEM payload at most once (``prime`` message) and afterwards
+    send only tiny ``(key, decoder, sampler, shots, seed)`` shard
+    messages.
+    Results stream back over a shared queue that the parent polls with
+    an interruptible timed wait — SIGINT reaches the parent promptly
+    instead of languishing behind a blocking ``pool.map``.  A worker
+    that dies (OOM kill, SIGKILL, segfault) does not kill the sweep:
+    its in-flight shards are disowned for the scheduler to resubmit to
+    the survivors.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        queue_depth: int = 2,
+    ):
+        self.max_workers = max_workers if max_workers else (os.cpu_count() or 2)
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        self.queue_depth = queue_depth
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._procs: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._dead: set[int] = set()
+        self._init_pool()
+
+    # ------------------------------------------------------------------
+    def _worker_slots(self) -> int:
+        if not self._procs:
+            return self.max_workers
+        return len(self._procs) - len(self._dead)
+
+    def _ensure_workers(self) -> None:
+        if self._procs:
+            return
+        self._result_queue = self._ctx.Queue()
+        for _ in range(self.max_workers):
+            task_queue = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(task_queue, self._result_queue),
+                daemon=True,
             )
+            proc.start()
+            self._procs.append(proc)
+            self._task_queues.append(task_queue)
+            self._load.append(0)
+
+    def _live_workers(self) -> list[int]:
+        self._reap_dead()
+        return [w for w in range(len(self._procs)) if w not in self._dead]
+
+    def _reap_dead(self) -> None:
+        """Notice dead worker processes and disown their shards."""
+        for worker, proc in enumerate(self._procs):
+            if worker not in self._dead and not proc.is_alive():
+                self._dead.add(worker)
+                self._forget_worker(worker)
+
+    def _send(self, worker: int, message: tuple) -> None:
+        """Single dispatch point for worker messages (tests hook this
+        to count priming traffic)."""
+        self._task_queues[worker].put(message)
+
+    # ------------------------------------------------------------------
+    def poll(self) -> list[ShardOutcome]:
+        outcomes = []
+        if self._result_queue is None:
+            return outcomes
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except queue_module.Empty:
+                return outcomes
+            outcome = self._handle(message)
+            if outcome is not None:
+                outcomes.append(outcome)
+
+    def wait(self, poll_interval: float = 0.2) -> list[ShardOutcome]:
+        """Block until at least one shard finishes.
+
+        The timed ``get`` keeps the parent interruptible: a SIGINT
+        lands between polls instead of hanging until a whole job's
+        ``map`` returns.  Returns an empty list when worker death is
+        detected instead — the scheduler then reaps the lost shards
+        and resubmits them to the survivors.
+        """
+        while True:
+            try:
+                message = self._result_queue.get(timeout=poll_interval)
+            except queue_module.Empty:
+                self._reap_dead()
+                if self._lost:
+                    return []  # losses for the scheduler to recover
+                if len(self._dead) == len(self._procs):
+                    # No survivor can ever produce a result; the usual
+                    # surfacing point is submit() on the scheduler's
+                    # resubmission attempt, but if wait() is reached
+                    # first it must raise too, never spin.
+                    raise NoLiveWorkersError(
+                        f"all {len(self._procs)} worker process(es) died"
+                    )
+                continue
+            outcome = self._handle(message)
+            if outcome is None:
+                continue  # stale epoch / disowned shard: keep waiting
+            return [outcome] + self.poll()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -491,7 +685,8 @@ class MultiprocessBackend:
         if not self._procs:
             return
         for worker in range(len(self._procs)):
-            self._send(worker, ("stop",))
+            if worker not in self._dead:
+                self._send(worker, ("stop",))
         for proc in self._procs:
             proc.join(timeout=10)
             if proc.is_alive():
@@ -512,11 +707,8 @@ class MultiprocessBackend:
         self._procs = []
         self._task_queues = []
         self._result_queue = None
-        self._load = []
-        self._primed = set()
-        self._dmat_primed = set()
-        self._dem_json = {}
-        self._dispatch = {}
+        self._dead = set()
+        self._init_pool()
 
     def __enter__(self):
         return self
@@ -621,6 +813,7 @@ class Runner:
         noise: NoiseParameters | None = None,
         shard_shots: int = DEFAULT_SHARD_SHOTS,
         progress=False,
+        checkpoint_shards: bool = True,
     ):
         self.spec = spec
         self._own_backend = backend is None
@@ -641,6 +834,11 @@ class Runner:
         if shard_shots < 1:
             raise ValueError("shard_shots must be positive")
         self.shard_shots = shard_shots
+        # Shard-level checkpointing (needs a store): every completed
+        # shard is persisted, so an interrupted job resumes mid-
+        # sampling instead of restarting from shard zero.
+        self.checkpoint_shards = checkpoint_shards
+        self._checkpointed = False
         self.progress = make_progress(progress)
         self._artifacts: dict[tuple, JobArtifacts] = {}
         # Sweep-wide syndrome-memo tallies (hit/miss deltas summed over
@@ -662,7 +860,9 @@ class Runner:
         self.progress.start(len({job.key for job in jobs}))
         completed = self.store.load() if self.store is not None else {}
         results: dict[str, JobResult] = {}
-        scheduler = StreamScheduler(self.backend, self.cache)
+        scheduler = StreamScheduler(
+            self.backend, self.cache, on_outcome=self._checkpoint_outcome
+        )
         try:
             for job in jobs:
                 if job.key in results or scheduler.has(job.key):
@@ -698,10 +898,34 @@ class Runner:
         else:
             if self._own_backend:
                 self.backend.close()
+        if self._checkpointed:
+            # Every shard checkpointed this run is now superseded by
+            # its job's final record; drop the dead lines so the store
+            # doesn't grow without bound across runs.
+            self.store.compact()
         self.progress.finish(self.cache.stats(), self._memo_totals)
         return [results[job.key] for job in jobs]
 
     # ------------------------------------------------------------------
+    def _checkpoint_outcome(self, task: ShardTask, outcome, state) -> None:
+        """Persist one completed shard (scheduler ``on_outcome`` hook).
+
+        The final job record appended by ``_finalize`` supersedes these
+        lines; until it lands, they are what lets an interrupted job
+        resume mid-sampling.
+        """
+        if self.store is None or not self.checkpoint_shards:
+            return
+        self.store.append_shard(ShardRecord(
+            job_key=outcome.job_key,
+            shard_index=task.shard_index,
+            shots=outcome.shots,
+            failures=outcome.failures,
+            elapsed_s=outcome.elapsed_s,
+            run_config=dict(self.run_config),
+        ))
+        self._checkpointed = True
+
     def _state_for(
         self, job: SweepJob, artifacts: JobArtifacts, compiled, setup_s: float
     ) -> JobState:
@@ -715,6 +939,34 @@ class Runner:
             job.shot_cap, shard_shots, self.spec.master_seed, job.key
         )
         tranche = math.ceil(job.shots / shard_shots)
+        checkpointed: dict[int, ShardRecord] = {}
+        if self.store is not None and self.checkpoint_shards:
+            for index, record in self.store.load_shards(job.key).items():
+                # A shard sampled under a different master seed / shard
+                # layout / noise model is a different experiment; only
+                # this run's own configuration may be credited.
+                if record.run_config == self.run_config:
+                    checkpointed[index] = record
+        initial_shots = initial_failures = 0
+        initial_work_s = 0.0
+        if checkpointed:
+            # Resume mid-job: credit the checkpointed shards and plan
+            # only the remainder.  The shard RNG streams are positional
+            # in the *full* plan, so skipping completed indices leaves
+            # every remaining shard's sample bit-identical.
+            remaining = []
+            tranche_left = 0
+            for position, shard in enumerate(plan):
+                record = checkpointed.get(shard.index)
+                if record is not None and record.shots == shard.shots:
+                    initial_shots += record.shots
+                    initial_failures += record.failures
+                    initial_work_s += record.elapsed_s
+                else:
+                    remaining.append(shard)
+                    if position < tranche:
+                        tranche_left += 1
+            plan, tranche = remaining, tranche_left
         return JobState(
             key=job.key,
             compiled=compiled,
@@ -725,6 +977,9 @@ class Runner:
             target_rel_stderr=job.target_rel_stderr,
             tranche_shards=tranche,
             payload=(job, artifacts, setup_s),
+            initial_shots=initial_shots,
+            initial_failures=initial_failures,
+            initial_work_s=initial_work_s,
         )
 
     def _finalize_state(self, state: JobState, results: dict) -> None:

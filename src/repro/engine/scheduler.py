@@ -29,6 +29,21 @@ Backends expose a small streaming interface:
 - ``submit(task, compiled, cache)`` — dispatch one shard;
 - ``poll()`` — non-blocking drain of finished shards;
 - ``wait()`` — block (interruptibly) until at least one shard finishes.
+
+Worker-pool backends additionally expose **crash recovery**:
+
+- ``take_lost()`` — drain the sequence numbers of shards whose worker
+  died before reporting a result.
+
+The scheduler remembers every in-flight :class:`ShardTask` and, when a
+backend reports losses, resubmits the lost tasks — with their
+*original* ``SeedSequence`` streams — to the surviving workers.  A
+shard's sample is fully determined by its seed, so a recovered sweep's
+failure counts are bit-identical to a crash-free run.  A backend whose
+``wait()`` detects worker death may return an empty outcome list; the
+scheduler then reaps the losses and refills before blocking again (so
+``wait()`` must only return empty when there are losses to reap, or
+the stream would spin).
 """
 
 from __future__ import annotations
@@ -90,6 +105,13 @@ class JobState:
     of those shards form the guaranteed initial tranche.  ``payload``
     is opaque context the caller gets back on completion (the runner
     stores the job, its artifacts and a start timestamp there).
+
+    ``initial_shots`` / ``initial_failures`` / ``initial_work_s`` seed
+    the tallies with checkpointed shard outcomes: a resumed job passes
+    the sums of its already-completed shards (and a ``plan`` holding
+    only the *remaining* shards), so sampling continues mid-job instead
+    of restarting.  An empty remaining plan is legal — the job is done
+    on arrival.
     """
 
     __slots__ = (
@@ -111,6 +133,9 @@ class JobState:
         target_rel_stderr: float | None = None,
         tranche_shards: int | None = None,
         payload=None,
+        initial_shots: int = 0,
+        initial_failures: int = 0,
+        initial_work_s: float = 0.0,
     ):
         self.key = key
         self.compiled = compiled
@@ -125,10 +150,12 @@ class JobState:
         self.payload = payload
         self.next_index = 0
         self.inflight = 0
-        self.shots_done = 0
-        self.failures = 0
-        self.shots_submitted = 0
-        self.work_s = 0.0
+        self.shots_done = initial_shots
+        self.failures = initial_failures
+        # Checkpointed shots count as submitted so reinvestment ranking
+        # doesn't mistake a resumed job for a starved one.
+        self.shots_submitted = initial_shots
+        self.work_s = initial_work_s
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_size = 0
@@ -203,16 +230,29 @@ class JobState:
 class StreamScheduler:
     """Streams shards from many jobs through one backend.
 
-    Submission policy: first fill every job's initial tranche in job
-    order (so serial execution visits jobs in the order the sweep
-    declared them), then reinvest free capacity in the adaptive job
-    that has sampled the least so far — the starved points catch up
-    first.
+    Submission policy: first resubmit shards lost to dead workers
+    (their data is owed to jobs already past the planning cursor), then
+    fill every job's initial tranche in job order (so serial execution
+    visits jobs in the order the sweep declared them), then reinvest
+    free capacity in the adaptive job that has sampled the least so far
+    — the starved points catch up first.
+
+    ``on_outcome(task, outcome, state)``, when given, fires once per
+    absorbed shard — the hook the runner uses to checkpoint completed
+    shards into the result store.
     """
 
-    def __init__(self, backend, cache):
+    def __init__(self, backend, cache, on_outcome=None):
         self.backend = backend
         self.cache = cache
+        self.on_outcome = on_outcome
+        # A shared backend may hold leftovers of an earlier sweep (a
+        # dead worker's surplus duplicate result in a shared queue);
+        # our seq numbers start at 0, so fence those out before any
+        # submission can collide with them.
+        begin_session = getattr(backend, "begin_session", None)
+        if begin_session is not None:
+            begin_session()
         self._states: dict[str, JobState] = {}
         self._order: list[JobState] = []
         self._seq = 0
@@ -224,6 +264,13 @@ class StreamScheduler:
         # scheduler O(1) per shard instead of O(jobs).
         self._tranche_cursor = 0
         self._newly_done: list[JobState] = []
+        # Every in-flight task by sequence number: the source of truth
+        # for crash recovery (a lost seq maps back to the exact task —
+        # and seed — that must be resubmitted) and for the checkpoint
+        # hook (an outcome's shard index lives on the task).
+        self._pending: dict[int, tuple[ShardTask, JobState]] = {}
+        # Tasks reaped from a dead worker, awaiting resubmission.
+        self._retry: list[ShardTask] = []
 
     # ------------------------------------------------------------------
     def has(self, key: str) -> bool:
@@ -240,7 +287,14 @@ class StreamScheduler:
             raise ValueError(f"job {state.key!r} already scheduled")
         self._states[state.key] = state
         self._order.append(state)
-        self._unfinished += 1
+        if state.done:
+            # Nothing left to sample — every shard was checkpointed
+            # (or the preloaded tallies already satisfy an adaptive
+            # target).  _absorb never runs for such a job, so surface
+            # the completion here.
+            self._newly_done.append(state)
+        else:
+            self._unfinished += 1
         self._pump()
         return self._pop_completed()
 
@@ -272,8 +326,26 @@ class StreamScheduler:
             self._absorb(outcomes)
 
     def _fill(self) -> int:
+        self._recover()
         capacity = max(1, int(getattr(self.backend, "capacity", 1)))
         submitted = 0
+        # Lost shards first: their jobs already committed to these
+        # samples (the plan cursor moved past them), so the stream
+        # cannot finish until they land somewhere.  state.inflight
+        # still counts a queued retry (see _recover), so only the
+        # scheduler's capacity slot is re-taken here.
+        while self._retry and self._inflight < capacity:
+            task = self._retry.pop(0)
+            state = self._states[task.job_key]
+            if state.converged:
+                # Converged while the retry sat queued: its sample can
+                # no longer matter — abandon it instead of resubmitting.
+                self._drop_task(state)
+                continue
+            self._inflight += 1
+            self._pending[task.seq] = (task, state)
+            self.backend.submit(task, state.compiled, self.cache)
+            submitted += 1
         while self._inflight < capacity:
             state = self._pick()
             if state is None:
@@ -294,9 +366,49 @@ class StreamScheduler:
             state.inflight += 1
             state.shots_submitted += shard.shots
             self._inflight += 1
+            self._pending[task.seq] = (task, state)
             self.backend.submit(task, state.compiled, self.cache)
             submitted += 1
         return submitted
+
+    def _recover(self) -> None:
+        """Reap shards lost to dead workers and queue their resubmission.
+
+        The resubmitted task carries its original seed, so the survivor
+        draws exactly the sample the dead worker would have — failure
+        counts stay bit-identical to a crash-free run.  A lost shard of
+        an adaptive job that has *already converged* is dropped instead:
+        its result could no longer change the job's outcome, and the
+        job may have no surviving capacity to run it on.
+
+        A queued retry releases only the *scheduler's* capacity slot
+        (``self._inflight``), never the job's own ``state.inflight``: a
+        job still owed a lost sample is not done, even if every shard
+        the backend currently holds has landed — otherwise the job
+        would finalize early with the lost shard's shots missing and
+        then complete a second time when the retry lands, corrupting
+        the unfinished-job count.
+        """
+        take_lost = getattr(self.backend, "take_lost", None)
+        if take_lost is None:
+            return
+        for seq in take_lost():
+            entry = self._pending.pop(seq, None)
+            if entry is None:
+                continue
+            task, state = entry
+            self._inflight -= 1
+            if state.converged:
+                self._drop_task(state)
+            else:
+                self._retry.append(task)
+
+    def _drop_task(self, state: JobState) -> None:
+        """Abandon one lost/queued task of a converged job for good."""
+        state.inflight -= 1
+        if state.done:
+            self._newly_done.append(state)
+            self._unfinished -= 1
 
     def _pick(self) -> JobState | None:
         # Phase 1: guaranteed initial tranches, in declaration order.
@@ -321,6 +433,7 @@ class StreamScheduler:
     def _absorb(self, outcomes) -> None:
         for outcome in outcomes:
             state = self._states[outcome.job_key]
+            task_entry = self._pending.pop(outcome.seq, None)
             state.inflight -= 1
             self._inflight -= 1
             state.shots_done += outcome.shots
@@ -332,9 +445,12 @@ class StreamScheduler:
             # monotone, so the max is the job's final memo size on its
             # busiest worker.
             state.memo_size = max(state.memo_size, outcome.memo_size)
+            if self.on_outcome is not None and task_entry is not None:
+                self.on_outcome(task_entry[0], outcome, state)
             if state.done:
                 # A job can only complete when its last in-flight shard
-                # lands, so this is the one place completions surface.
+                # lands (a queued retry counts as in flight), so this
+                # is the one place completions surface.
                 self._newly_done.append(state)
                 self._unfinished -= 1
 

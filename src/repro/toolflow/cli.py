@@ -10,6 +10,9 @@ Usage examples::
     python -m repro.toolflow.cli sweep --distances 3 5 \\
         --decoders mwpm union_find --topologies grid switch \\
         --shots 2000 --target-failures 100 --max-shots 200000
+    python -m repro.toolflow.cli sweep --distances 3 5 --shots 20000 \\
+        --backend remote --workers-addr host1:7930,host2:7930 \\
+        --results sweep.jsonl
     python -m repro.toolflow.cli project --distances 3 5 \\
         --improvement 5 --shots 8000 --target 1e-9
 
@@ -102,8 +105,36 @@ def cmd_sweep(args) -> int:
     ``--wirings``, ``--improvements``, ``--decoders``) default to their
     singular counterparts, and the sweep expands the full
     cross-product.
+
+    ``--backend remote --workers-addr host:port,...`` fans the shot
+    shards out to ``repro-worker`` processes over TCP; a worker lost
+    mid-sweep is recovered (its shards rerun on survivors with their
+    original seeds), and with ``--results`` every completed shard is
+    checkpointed so even a killed driver resumes mid-job.
     """
     from ..engine import SweepSpec
+
+    backend = None
+    if args.backend == "remote" or (
+        args.backend == "auto" and args.workers_addr
+    ):
+        from ..engine.remote import RemoteBackend
+
+        if not args.workers_addr:
+            print("--backend remote requires --workers-addr host:port[,...]",
+                  file=sys.stderr)
+            return 2
+        backend = RemoteBackend(args.workers_addr)
+    elif args.backend == "serial":
+        from ..engine import SerialBackend
+
+        backend = SerialBackend()
+    elif args.backend == "multiprocess":
+        from ..engine import MultiprocessBackend
+
+        # An explicit worker count is honoured exactly (even 1); only
+        # the unset default (0) falls back to cpu_count.
+        backend = MultiprocessBackend(args.workers if args.workers >= 1 else None)
 
     spec = SweepSpec(
         code=args.code,
@@ -122,15 +153,22 @@ def cmd_sweep(args) -> int:
         target_rel_stderr=args.target_rel_stderr,
     )
     explorer = DesignSpaceExplorer(code_name=args.code, seed=args.seed)
-    records = explorer.sweep(
-        spec,
+    options = dict(
         workers=args.workers,
         cache_dir=args.cache_dir,
         cache_max_mb=args.cache_max_mb,
         results_path=args.results,
         shard_shots=args.shard_shots,
         progress=args.progress,
+        checkpoint_shards=not args.no_shard_checkpoints,
     )
+    if backend is not None:
+        # CLI-constructed backends are CLI-owned: close (or, on error,
+        # terminate) them here rather than inside the runner.
+        with backend:
+            records = explorer.sweep(spec, backend=backend, **options)
+    else:
+        records = explorer.sweep(spec, **options)
     _print_records(records, args.csv)
     return 0
 
@@ -199,6 +237,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="adaptive mode: per-point shot budget "
                               "(default: 100x --shots)")
     p_sweep.add_argument("--csv", default=None)
+    p_sweep.add_argument("--backend", default="auto",
+                         choices=["auto", "serial", "multiprocess", "remote"],
+                         help="execution backend (auto = serial, or "
+                              "multiprocess when --workers > 1, or remote "
+                              "when --workers-addr is given)")
+    p_sweep.add_argument("--workers-addr", default=None,
+                         metavar="HOST:PORT[,HOST:PORT...]",
+                         help="repro-worker addresses for the remote "
+                              "backend; a worker lost mid-sweep is "
+                              "recovered on the survivors")
+    p_sweep.add_argument("--no-shard-checkpoints", action="store_true",
+                         help="with --results: skip per-shard checkpoint "
+                              "records (interrupted jobs then restart "
+                              "instead of resuming mid-job)")
     p_sweep.add_argument("--workers", type=int, default=0,
                          help="worker processes for shot sharding (0/1 = serial)")
     p_sweep.add_argument("--shard-shots", type=int, default=DEFAULT_SHARD_SHOTS,

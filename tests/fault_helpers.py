@@ -1,0 +1,308 @@
+"""Shared fault-injection fixtures for the engine test suites.
+
+Used by ``test_fault_tolerance.py`` (the chaos harness) and
+``test_engine.py``:
+
+- :class:`FlakyBackend` — an in-process backend with virtual workers
+  and deterministic fault injection (drop worker K after N completed
+  shards, fail shard with seq N), for scheduler crash-recovery tests
+  that need no subprocesses;
+- :class:`CountingSerialBackend` — records every submitted
+  ``(job_key, shard_index)``, for asserting checkpointed shards are
+  not re-executed on resume;
+- :func:`spawn_worker` / :func:`spawn_workers` — launch real
+  ``repro-worker`` subprocesses on free ports;
+- :func:`run_sweep_driver` / :func:`wait_for_shard_lines` — drive a
+  sweep in a subprocess and watch its result store, so tests can
+  SIGKILL the driver between shards;
+- :func:`run_with_timeout` — a watchdog for "raises, never hangs"
+  regressions.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+from repro.engine import CompilationCache, NoLiveWorkersError, SerialBackend
+from repro.engine.runner import Shard, sample_shard
+from repro.engine.scheduler import ShardOutcome
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+
+class FlakyBackend:
+    """In-process pool backend with deterministic fault injection.
+
+    Executes shards exactly like :class:`SerialBackend`, but spreads
+    them over ``workers`` virtual workers and supports two injected
+    faults:
+
+    - ``drop_worker=k, drop_after=n`` — once ``n`` shards have
+      completed (anywhere), worker ``k`` "dies": its queued shards are
+      disowned into the lost list (``take_lost``), and nothing is ever
+      routed to it again.  ``drop_worker="all"`` kills every worker.
+    - ``fail_seq=n`` — the shard with scheduler sequence number ``n``
+      raises instead of sampling (a genuine shard *error*, which must
+      fail the sweep — unlike worker death, which must not).
+
+    Execution order is deterministic (FIFO by submission), so
+    recovered sweeps can be compared bit-for-bit against serial runs.
+    """
+
+    name = "flaky"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_depth: int = 2,
+        drop_worker=None,
+        drop_after: int = 0,
+        fail_seq: int | None = None,
+    ):
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.drop_worker = drop_worker
+        self.drop_after = drop_after
+        self.fail_seq = fail_seq
+        self._queues: list[list] = [[] for _ in range(workers)]
+        self._dead: set[int] = set()
+        self._lost: list[int] = []
+        self._completed = 0
+        self.executed: list[tuple[str, int]] = []  # (job_key, shard_index)
+
+    # ------------------------------------------------------------------
+    def _live(self) -> list[int]:
+        return [w for w in range(self.workers) if w not in self._dead]
+
+    @property
+    def capacity(self) -> int:
+        return max(1, len(self._live())) * self.queue_depth
+
+    def submit(self, task, compiled, cache: CompilationCache) -> None:
+        live = self._live()
+        if not live:
+            raise NoLiveWorkersError(
+                "flaky backend: every virtual worker is dead"
+            )
+        worker = min(live, key=lambda w: len(self._queues[w]))
+        self._queues[worker].append((task, compiled, cache))
+
+    def kill_worker(self, worker) -> None:
+        """Drop a virtual worker; its queued shards become lost."""
+        victims = (
+            list(self._live()) if worker == "all" else [worker]
+        )
+        for victim in victims:
+            if victim in self._dead:
+                continue
+            self._dead.add(victim)
+            for task, _compiled, _cache in self._queues[victim]:
+                self._lost.append(task.seq)
+            self._queues[victim] = []
+
+    def _maybe_drop(self) -> None:
+        if self.drop_worker is not None and self._completed >= self.drop_after:
+            drop, self.drop_worker = self.drop_worker, None
+            self.kill_worker(drop)
+
+    def take_lost(self) -> list[int]:
+        lost, self._lost = self._lost, []
+        return lost
+
+    def poll(self) -> list[ShardOutcome]:
+        return []
+
+    def wait(self) -> list[ShardOutcome]:
+        self._maybe_drop()
+        if self._lost:
+            return []  # scheduler reaps and resubmits
+        live = [w for w in self._live() if self._queues[w]]
+        if not live:
+            if not self._live():
+                raise NoLiveWorkersError(
+                    "flaky backend: every virtual worker is dead"
+                )
+            raise RuntimeError("flaky backend: wait() with nothing queued")
+        # Globally-oldest task first: deterministic FIFO execution.
+        worker = min(live, key=lambda w: self._queues[w][0][0].seq)
+        task, compiled, cache = self._queues[worker].pop(0)
+        if self.fail_seq is not None and task.seq == self.fail_seq:
+            raise RuntimeError(f"injected failure for shard seq {task.seq}")
+        decoder = cache.decoder(compiled, task.decoder)
+        sampler = (
+            cache.dem_sampler(compiled) if task.sampler == "dem" else None
+        )
+        failures, memo = sample_shard(
+            compiled.circuit, decoder,
+            Shard(task.shard_index, task.shots, task.seed),
+            sampler=sampler,
+        )
+        self.executed.append((task.job_key, task.shard_index))
+        self._completed += 1
+        self._maybe_drop()
+        return [ShardOutcome(task.seq, task.job_key, task.shots, failures,
+                             0.0, *memo)]
+
+    def abandon_pending(self) -> None:
+        self._queues = [[] for _ in range(self.workers)]
+        self._lost = []
+
+    def close(self) -> None:
+        pass
+
+    def terminate(self) -> None:
+        pass
+
+
+class CountingSerialBackend(SerialBackend):
+    """Serial backend that records every submitted (job_key, shard_index)."""
+
+    def __init__(self):
+        super().__init__()
+        self.executed: list[tuple[str, int]] = []
+
+    def submit(self, task, compiled, cache) -> None:
+        self.executed.append((task.job_key, task.shard_index))
+        super().submit(task, compiled, cache)
+
+
+class SweepAborted(Exception):
+    """Raised by :class:`AbortingSerialBackend` to simulate a crash."""
+
+
+class AbortingSerialBackend(CountingSerialBackend):
+    """Dies (raises :class:`SweepAborted`) after N submitted shards.
+
+    The in-process stand-in for a driver killed mid-sweep: the shards
+    submitted before the abort are executed and (with a store)
+    checkpointed; everything after is lost.
+    """
+
+    def __init__(self, abort_after: int):
+        super().__init__()
+        self.abort_after = abort_after
+
+    def submit(self, task, compiled, cache) -> None:
+        if len(self.executed) >= self.abort_after:
+            raise SweepAborted(
+                f"injected abort after {self.abort_after} shard(s)"
+            )
+        super().submit(task, compiled, cache)
+
+
+# ----------------------------------------------------------------------
+# Subprocess helpers (real workers, real drivers, real SIGKILL)
+# ----------------------------------------------------------------------
+def subprocess_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def spawn_worker(timeout: float = 30.0, extra_args: tuple = ()):
+    """Start one ``repro-worker`` on a free port.
+
+    Returns ``(proc, "host:port")``; the worker announces its bound
+    address on stdout, which is how port 0 is resolved.
+    """
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.engine.remote",
+         "--listen", "127.0.0.1:0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=subprocess_env(),
+        text=True,
+    )
+    line = proc.stdout.readline().strip()
+    prefix = "repro-worker listening on "
+    if not line.startswith(prefix):
+        proc.kill()
+        proc.wait()
+        raise RuntimeError(f"worker failed to start: {line!r}")
+    return proc, line[len(prefix):]
+
+
+def spawn_workers(n: int):
+    """``n`` workers; returns ``(procs, addrs)``."""
+    procs, addrs = [], []
+    for _ in range(n):
+        proc, addr = spawn_worker()
+        procs.append(proc)
+        addrs.append(addr)
+    return procs, addrs
+
+
+def reap_workers(procs, timeout: float = 15.0) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def run_sweep_driver(script: str):
+    """Run a sweep-driver script in a subprocess (for SIGKILL tests).
+
+    The script should print ``READY`` once imports are done so the
+    caller can time its observations.
+    """
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=subprocess_env(),
+        text=True,
+    )
+    assert proc.stdout.readline().strip() == "READY"
+    return proc
+
+
+def count_shard_lines(path: str) -> int:
+    """Shard-checkpoint lines currently in a result store file."""
+    try:
+        with open(path) as fh:
+            return sum(1 for line in fh if '"shard"' in line)
+    except OSError:
+        return 0
+
+
+def wait_for_shard_lines(path: str, n: int, timeout: float = 60.0) -> bool:
+    """Poll ``path`` until it holds >= n shard-checkpoint lines."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if count_shard_lines(path) >= n:
+            return True
+        time.sleep(0.005)
+    return False
+
+
+def run_with_timeout(fn, seconds: float):
+    """Watchdog: run ``fn`` in a thread; fail the test if it hangs.
+
+    Returns ``{"value": ...}`` or ``{"error": exc}``.
+    """
+    result: dict = {}
+
+    def target():
+        try:
+            result["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the test
+            result["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(seconds)
+    if thread.is_alive():
+        raise AssertionError(
+            f"operation still running after {seconds}s — it should have "
+            "raised promptly instead of hanging"
+        )
+    return result

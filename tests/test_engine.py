@@ -1,6 +1,8 @@
 """Execution-engine tests: sweep expansion, determinism across
 backends and worker counts, adaptive shot allocation, worker payload
-priming, compilation caching, and JSONL resume."""
+priming, compilation caching, JSONL resume, worker crash recovery and
+shard-level checkpointing (fault fixtures shared with
+``test_fault_tolerance.py`` via ``fault_helpers``)."""
 
 import json
 import os
@@ -710,6 +712,242 @@ class TestStoreMemoization:
         # The repaired record supersedes the hollow one.
         [third] = run_sweep(spec, results_path=path)
         assert third.resumed and third.metrics
+
+
+class TestShardCheckpoints:
+    def test_shard_record_round_trip(self, tmp_path):
+        from repro.engine import ShardRecord
+
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        record = ShardRecord(
+            job_key="k", shard_index=3, shots=128, failures=2,
+            elapsed_s=0.25, run_config={"master_seed": 7},
+        )
+        store.append_shard(record)
+        loaded = store.load_shards("k")
+        assert set(loaded) == {3}
+        assert loaded[3].failures == 2
+        assert loaded[3].run_config == {"master_seed": 7}
+        # Shard lines are not job results.
+        assert store.load() == {}
+        # A fresh store object parses the same state from disk.
+        fresh = ResultStore(str(tmp_path / "r.jsonl"))
+        assert set(fresh.load_shards("k")) == {3}
+
+    def test_final_job_record_supersedes_shards(self, tmp_path):
+        # Compaction contract: once the job's final record lands, its
+        # earlier shard checkpoints are dead weight — invisible to
+        # load_shards and dropped by compact() — while checkpoints of
+        # *unfinished* jobs survive.
+        from repro.engine import ShardRecord
+
+        path = str(tmp_path / "r.jsonl")
+        store = ResultStore(path)
+        spec = small_spec(distances=(2,))
+        store.append_shard(ShardRecord("other-unfinished", 0, 64, 1))
+        [result] = run_sweep(spec, store=store, shard_shots=SHARD)
+        # The runner checkpointed shards, then the final record
+        # superseded them (and run() compacted the store).
+        assert store.load_shards(result.key) == {}
+        assert set(store.load_shards("other-unfinished")) == {0}
+        assert result.key in store.load()
+        lines = open(path).read().splitlines()
+        assert sum(1 for l in lines if '"shard"' in l) == 1  # the orphan
+
+    def test_compact_drops_superseded_lines(self, tmp_path):
+        from repro.engine import ShardRecord
+
+        path = str(tmp_path / "r.jsonl")
+        store = ResultStore(path)
+        spec = small_spec(distances=(2,), shots=0)
+        [result] = run_sweep(spec, store=store)
+        # Hand-append stale shard lines *before* a duplicate final
+        # record, plus a live orphan checkpoint.
+        with open(path) as fh:
+            job_line = fh.read().strip()
+        with open(path, "a") as fh:
+            fh.write(json.dumps(
+                ShardRecord(result.key, 0, 64, 1).to_jsonable()) + "\n")
+            fh.write(job_line + "\n")  # re-recorded job: supersedes
+            fh.write(json.dumps(
+                ShardRecord("unfinished", 5, 64, 0).to_jsonable()) + "\n")
+        fresh = ResultStore(path)
+        dropped = fresh.compact()
+        assert dropped == 2  # stale shard + older duplicate job record
+        assert fresh.compact() == 0  # idempotent
+        assert result.key in fresh.load()
+        assert set(fresh.load_shards("unfinished")) == {5}
+
+    def test_legacy_store_without_shard_lines_resumes(self, tmp_path):
+        # Pre-checkpointing stores hold only job records; they must
+        # load, resume and report no shards.
+        path = str(tmp_path / "legacy.jsonl")
+        spec = small_spec()
+        full = run_sweep(spec, results_path=path, shard_shots=SHARD)
+        # Rewrite as a "legacy" file: job lines only, no shard lines
+        # (the live path already compacts, so just assert + reload).
+        lines = open(path).read().splitlines()
+        assert all('"shard"' not in line for line in lines)
+        store = ResultStore(path)
+        assert store.load_shards(full[0].key) == {}
+        resumed = run_sweep(spec, results_path=path, shard_shots=SHARD)
+        assert all(r.resumed for r in resumed)
+
+    def test_checkpointing_can_be_disabled(self, tmp_path):
+        from fault_helpers import AbortingSerialBackend, SweepAborted
+
+        path = str(tmp_path / "r.jsonl")
+        spec = small_spec(distances=(2,))
+        with pytest.raises(SweepAborted):
+            run_sweep(spec, results_path=path, shard_shots=SHARD,
+                      backend=AbortingSerialBackend(2),
+                      checkpoint_shards=False)
+        # No shard lines were written — with no completed job either,
+        # the store may not even exist yet.
+        assert not os.path.exists(path) or '"shard"' not in open(path).read()
+
+    def test_mismatched_run_config_shards_are_not_credited(self, tmp_path):
+        # Shards checkpointed under another master seed are a different
+        # experiment: the resumed run must re-sample from scratch.
+        from fault_helpers import (
+            AbortingSerialBackend,
+            CountingSerialBackend,
+            SweepAborted,
+        )
+
+        path = str(tmp_path / "r.jsonl")
+        spec_a = small_spec(distances=(2,), master_seed=1)
+        spec_b = small_spec(distances=(2,), master_seed=2)
+        with pytest.raises(SweepAborted):
+            run_sweep(spec_a, results_path=path, shard_shots=SHARD,
+                      backend=AbortingSerialBackend(2))
+        assert ResultStore(path).load_shards(spec_a.expand()[0].key)
+        backend = CountingSerialBackend()
+        [result] = run_sweep(spec_b, results_path=path, shard_shots=SHARD,
+                             backend=backend)
+        # All 5 shards ran fresh; nothing was credited across seeds.
+        assert len(backend.executed) == 5
+        [reference] = run_sweep(spec_b, shard_shots=SHARD)
+        assert result.failures == reference.failures
+
+
+class TestWorkerCrashRecovery:
+    def test_flaky_backend_recovery_matches_serial(self):
+        # The shared fault fixture: drop a virtual worker mid-sweep;
+        # the scheduler resubmits its shards with original seeds.
+        from fault_helpers import FlakyBackend
+
+        spec = small_spec()
+        serial = run_sweep(spec, shard_shots=SHARD)
+        backend = FlakyBackend(workers=2, drop_worker=1, drop_after=2)
+        recovered = run_sweep(spec, backend=backend, shard_shots=SHARD)
+        assert [r.failures for r in recovered] == [r.failures for r in serial]
+
+    def test_multiprocess_worker_sigkill_recovers(self):
+        # A real worker process SIGKILLed mid-sweep: the MP backend
+        # disowns its shards and the sweep finishes bit-identically.
+        spec = small_spec()
+        serial = run_sweep(spec, shard_shots=64)
+
+        class Killing(MultiprocessBackend):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.outcomes_seen = 0
+                self.killed = False
+
+            def _handle(self, message):
+                outcome = super()._handle(message)
+                if outcome is not None:
+                    self.outcomes_seen += 1
+                    if not self.killed and self.outcomes_seen >= 2:
+                        self.killed = True
+                        self._procs[0].kill()
+                return outcome
+
+        with Killing(max_workers=2) as backend:
+            results = run_sweep(spec, backend=backend, shard_shots=64)
+            assert backend.killed
+        assert [r.failures for r in results] == [r.failures for r in serial]
+
+    def test_queued_retry_keeps_job_alive(self):
+        # Regression: when a lost shard's retry cannot be resubmitted
+        # immediately (no capacity on the survivors), the job's other
+        # outcomes landing must NOT complete the job — it is still owed
+        # the lost sample.  The bug finalized the job early (short of
+        # shots) and then a second time when the retry landed, which
+        # corrupted the unfinished-job count and dropped a later job.
+        from types import SimpleNamespace
+
+        from repro.engine import JobState, ShardOutcome, StreamScheduler
+
+        class Scripted:
+            capacity = 2
+
+            def __init__(self):
+                self.submitted = []
+                self.lost = []
+                self.results = []
+
+            def submit(self, task, compiled, cache):
+                self.submitted.append(task)
+
+            def take_lost(self):
+                lost, self.lost = self.lost, []
+                return lost
+
+            def poll(self):
+                out, self.results = self.results, []
+                return out
+
+            def wait(self):
+                return self.poll()
+
+        backend = Scripted()
+        scheduler = StreamScheduler(backend, cache=None)
+        plan = plan_shards(256, 128, master_seed=1, job_key="job")
+        state = JobState("job", SimpleNamespace(key="c"), "mwpm", plan)
+        assert scheduler.add(state) == []
+        assert [t.seq for t in backend.submitted] == [0, 1]
+        # Shard 1's worker dies; the pool shrinks to one busy slot.
+        backend.lost = [1]
+        backend.capacity = 1
+        # One drain step: the loss is reaped but cannot resubmit yet;
+        # shard 0 lands.  The job must stay open.
+        scheduler._fill()
+        scheduler._absorb([ShardOutcome(0, "job", 128, 3)])
+        assert scheduler._pop_completed() == []
+        assert state.inflight == 1  # the queued retry holds the job
+        # Capacity freed: the retry goes out with its original seed.
+        scheduler._fill()
+        assert [t.seq for t in backend.submitted] == [0, 1, 1]
+        assert backend.submitted[1].seed is backend.submitted[2].seed
+        scheduler._absorb([ShardOutcome(1, "job", 128, 2)])
+        assert scheduler._pop_completed() == [state]
+        assert (state.shots_done, state.failures) == (256, 5)
+
+    def test_capacity_shrinks_with_dead_workers(self):
+        backend = MultiprocessBackend(max_workers=3, queue_depth=2)
+        assert backend.capacity == 6  # not started: configured size rules
+        backend._procs = [object(), object(), object()]  # "started"
+        backend._dead = {0}
+        assert backend.capacity == 4  # 2 survivors x queue_depth
+        backend._dead = {0, 1, 2}
+        assert backend.capacity == 2  # floor of one slot x queue_depth
+
+    def test_new_scheduler_fences_off_stale_session_state(self):
+        # A dead worker's surplus duplicate result can outlive its
+        # sweep in a shared backend's queue; since task seqs restart
+        # at 0 per scheduler, attaching a new scheduler must bump the
+        # epoch (so the stale message is droppable) and clear the old
+        # sweep's forgotten-seq set (so it cannot swallow new results).
+        from repro.engine import StreamScheduler
+
+        backend = MultiprocessBackend(max_workers=2)
+        backend._forgotten.add(2)
+        epoch = backend._epoch
+        StreamScheduler(backend, cache=None)
+        assert backend._epoch == epoch + 1
+        assert not backend._forgotten
 
 
 class TestProgressReporter:
