@@ -20,6 +20,14 @@ syndromes distinct, so memoisation stops helping) pits the per-shot
 scalar union-find against the batched vectorised kernel, asserting the
 two produce identical corrections before timing them.
 
+The fast path runs under a scoped :class:`~repro.telemetry.Telemetry`
+registry, so every point also records a per-phase wall-clock breakdown
+(``sample.draw`` / ``sample.place`` / ``sample.xor`` / ``unique`` /
+``memo`` / ``decode`` / ``scatter`` / ``other``) — the same phases the
+engine attributes during sweeps.  The full run cross-checks the
+attribution: phase totals must agree with the independently-measured
+fast-path wall clock to within 5%.
+
 Results go to the repo-root ``BENCH_sampling.json`` so the perf
 trajectory is recorded, and to ``benchmarks/results/`` like every
 other benchmark table.
@@ -37,9 +45,11 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.decoders import MwpmDecoder, UnionFindDecoder
 from repro.engine import CompilationCache, SweepSpec
-from repro.engine.runner import compile_design_point, plan_shards
+from repro.engine.progress import format_phase_share
+from repro.engine.runner import compile_design_point, ordered_phases, plan_shards
 from repro.noise.parameters import DEFAULT_NOISE
 from repro.sim import DemSampler, FrameSimulator
 
@@ -78,6 +88,12 @@ def _bench_point(distance: int, improvement: float, shard_shots: int,
     fast_decoder = MwpmDecoder(compiled.graph)
     shards = plan_shards(job.shots, shard_shots, MASTER_SEED, job.key)
 
+    # Scoped telemetry registry: the fast path runs instrumented (the
+    # same spans an engine shard records) without touching whatever
+    # global configuration the caller has.
+    tel = telemetry.Telemetry(enabled=True)
+    previous = telemetry.get()
+
     t_frame_sample = t_naive_decode = 0.0
     t_dem_sample = t_dedup_decode = 0.0
     frame_failures = fast_failures = 0
@@ -97,20 +113,35 @@ def _bench_point(distance: int, improvement: float, shard_shots: int,
 
         # Packed-native fast path: the uint64 words flow from the
         # sampler straight into the decoder, exactly like an engine
-        # shard — no boolean matrices in between.
-        t0 = time.perf_counter()
-        packed = dem_sampler.sample_packed(shard.shots, seed=shard.seed)
-        t1 = time.perf_counter()
-        fails = fast_decoder.logical_failures_packed(
-            packed.det_words, packed.obs_words, dedupe=True
-        )
-        t2 = time.perf_counter()
+        # shard — no boolean matrices in between.  The root "shard"
+        # span makes the exclusive phase times additive, so their sum
+        # is the fast path's wall clock.
+        telemetry.set_active(tel)
+        try:
+            with tel.span("shard"):
+                t0 = time.perf_counter()
+                with tel.span("sample"):
+                    packed = dem_sampler.sample_packed(
+                        shard.shots, seed=shard.seed
+                    )
+                t1 = time.perf_counter()
+                fails = fast_decoder.logical_failures_packed(
+                    packed.det_words, packed.obs_words, dedupe=True
+                )
+                t2 = time.perf_counter()
+        finally:
+            telemetry.set_active(previous)
         t_dem_sample += t1 - t0
         t_dedup_decode += t2 - t1
         fast_failures += int(fails.sum())
 
     shots = job.shots
     memo = fast_decoder.syndrome_memo()
+    phases = tel.phase_totals()
+    # Residue of the root span — time between the instrumented phases
+    # (same accounting as the engine's per-shard "other").
+    phases["other"] = phases.pop("shard", 0.0)
+    t_fast = t_dem_sample + t_dedup_decode
     return {
         "gate_improvement": improvement,
         "distance": distance,
@@ -136,6 +167,11 @@ def _bench_point(distance: int, improvement: float, shard_shots: int,
             "frame_failures": frame_failures,
             "fastpath_failures": fast_failures,
         },
+        # Telemetry-attributed fast-path breakdown; coverage is the
+        # phase-sum over the independently-timed wall clock (~1.0 when
+        # the attribution machinery is honest).
+        "phases": {name: phases[name] for name in ordered_phases(phases)},
+        "phase_coverage": sum(phases.values()) / t_fast if t_fast else 0.0,
     }
 
 
@@ -225,6 +261,12 @@ def test_sampling_decoding_fastpath():
         f"{near['batched_decodes_per_s']:.0f}/s "
         f"({near['speedup']:.1f}x)"
     )
+    top = max(points, key=lambda p: p["gate_improvement"])
+    lines.append(
+        f"fast-path phases (x{top['gate_improvement']:g}, coverage "
+        f"{top['phase_coverage']:.0%}): "
+        + format_phase_share(top["phases"])
+    )
     lines.append(
         f"mode: {mode}; d={distance}; grid topology; mwpm; "
         f"shots per point: {shots_summary}; packed-native fast path"
@@ -254,8 +296,16 @@ def test_sampling_decoding_fastpath():
     for p in points:
         assert p["sampling"]["speedup"] > 1.0, p
         assert p["end_to_end"]["speedup"] > 1.0, p
+        assert p["phases"], "telemetry recorded no fast-path phases"
     assert near["speedup"] > 1.0, near
     if not smoke():
+        # Attribution honesty gate: the telemetry phase totals must
+        # reconstruct the independently-measured fast-path wall clock
+        # to within 5% (smoke shots are too few for stable clocks).
+        for p in points:
+            assert abs(p["phase_coverage"] - 1.0) <= 0.05, (
+                p["gate_improvement"], p["phase_coverage"], p["phases"]
+            )
         # Acceptance targets at the paper's improved design point and
         # the dedupe-hostile near-threshold point.
         quiet = max(points, key=lambda p: p["gate_improvement"])

@@ -43,6 +43,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..sim.dem_sampler import pack_bool_rows, unpack_bool_rows
+from ..telemetry import span
 
 # Cross-shard memo bound: distinct syndromes are few at the error rates
 # worth sweeping, but a near-threshold design point could see almost
@@ -91,25 +92,28 @@ def decode_packed_dedup(
     memo, at most once per decoder lifetime.
     """
     words = np.atleast_2d(np.ascontiguousarray(det_words, dtype=np.uint64))
-    uniq, inverse = np.unique(words, axis=0, return_inverse=True)
+    with span("unique"):
+        uniq, inverse = np.unique(words, axis=0, return_inverse=True)
     corrections = np.empty(len(uniq), dtype=np.int64)
-    if memo is None:
-        missing = list(range(len(uniq)))
-    else:
-        missing = []
-        for row in range(len(uniq)):
-            cached = memo.table.get(uniq[row].tobytes())
-            if cached is not None:
-                memo.hits += 1
-                corrections[row] = cached
-            else:
-                memo.misses += 1
-                missing.append(row)
+    with span("memo"):
+        if memo is None:
+            missing = list(range(len(uniq)))
+        else:
+            missing = []
+            for row in range(len(uniq)):
+                cached = memo.table.get(uniq[row].tobytes())
+                if cached is not None:
+                    memo.hits += 1
+                    corrections[row] = cached
+                else:
+                    memo.misses += 1
+                    missing.append(row)
     if missing:
         miss_rows = np.array(missing, dtype=np.int64)
-        decoded = np.asarray(
-            decode_unique_words(uniq[miss_rows]), dtype=np.int64
-        ).reshape(-1)
+        with span("decode", distinct=len(missing)):
+            decoded = np.asarray(
+                decode_unique_words(uniq[miss_rows]), dtype=np.int64
+            ).reshape(-1)
         if decoded.shape[0] != len(missing):
             raise ValueError(
                 f"decode_unique_words returned {decoded.shape[0]} corrections "
@@ -121,7 +125,8 @@ def decode_packed_dedup(
                 if len(memo.table) >= memo.limit:
                     break
                 memo.table[uniq[row].tobytes()] = mask
-    return corrections[inverse.reshape(-1)]
+    with span("scatter"):
+        return corrections[inverse.reshape(-1)]
 
 
 def scalar_unique_adapter(decode_one, bits: int):

@@ -21,7 +21,12 @@ The uniform harness behind the paper's figure sweeps:
   JSON-lines persistence with resume at job *and* shard granularity:
   completed job keys are skipped, and an interrupted job resumes from
   its checkpointed shards (``results.py``);
-- :class:`ProgressReporter` — per-job narration (``progress.py``).
+- :class:`ProgressReporter` — per-job narration, end-of-sweep
+  setup/phase breakdown and the ``--status`` live view (``progress.py``);
+- observability — with :func:`repro.telemetry.configure` enabled, every
+  pipeline phase runs in a span, shard outcomes carry per-phase
+  seconds, pool backends expose ``pool_health()``, and sweeps export
+  Chrome traces / JSONL metrics (see :mod:`repro.telemetry`).
 
 Quick start
 -----------

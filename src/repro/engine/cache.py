@@ -45,6 +45,7 @@ from ..ler.estimator import make_decoder
 from ..sim.circuit import StabilizerCircuit
 from ..sim.dem import DemError, DetectorErrorModel, circuit_to_dems
 from ..sim.dem_sampler import DemSampler
+from ..telemetry import span
 
 # Disk-cache entry suffixes, in eviction scope: the graphlike
 # (decoder-side) DEM, the exact (sampler-side) DEM, and the MWPM
@@ -145,7 +146,8 @@ class CompilationCache:
             self.disk_hits += 1
         else:
             self.misses += 1
-            sampling_dem, dem = circuit_to_dems(circuit)
+            with span("dem"):
+                sampling_dem, dem = circuit_to_dems(circuit)
             self._store_dem(key, ".dem.json", dem)
             self._store_dem(key, ".sdem.json", sampling_dem)
         entry = CompiledCircuit(
@@ -200,7 +202,8 @@ class CompilationCache:
                 self.dmat_disk_hits += 1
                 compiled.graph.set_shortest_paths(*entry)
             else:
-                entry = compiled.graph.shortest_paths()
+                with span("dijkstra"):
+                    entry = compiled.graph.shortest_paths()
                 self._store_dmat(compiled.key, *entry)
             self._dmats[compiled.key] = entry
         return entry

@@ -54,12 +54,23 @@ class ProgressReporter:
         self,
         cache_stats: dict | None = None,
         memo_stats: dict | None = None,
+        setup_s: float | None = None,
+        phase_s: dict | None = None,
     ) -> None:
+        """End-of-sweep summary line.
+
+        ``setup_s`` is the total per-job setup time (compile + DEM +
+        cache) the runner measured; ``phase_s`` is the sweep-wide
+        per-phase seconds dict from telemetry-enabled runs — both
+        optional so older callers keep working unchanged.
+        """
         elapsed = time.monotonic() - self._t0
         line = (
             f"sweep finished: {self.done}/{self.total} job(s), "
             f"{self.skipped} resumed, {elapsed:.1f}s"
         )
+        if setup_s is not None and setup_s > 0.0:
+            line += f" | setup: {setup_s:.1f}s"
         if cache_stats:
             # Partial stats dicts (custom caches, older stores) must
             # not crash the end-of-sweep summary.
@@ -80,6 +91,29 @@ class ProgressReporter:
                 f"{memo_stats.get('peak_entries', 0)} peak entries"
             )
         self._emit(line)
+        if phase_s:
+            self._emit("phases: " + format_phase_share(phase_s))
+
+    def status(self, snapshot: dict) -> None:
+        """Live mid-sweep status (the runner calls this every
+        ``status_interval`` seconds): job/shard progress, per-phase
+        time share, memo hit rate, and — on pool backends — per-worker
+        utilisation with straggler flags."""
+        elapsed = time.monotonic() - self._t0
+        line = (
+            f"status: {self.done}/{self.total} job(s), "
+            f"{snapshot.get('shards_done', 0)} shard(s), {elapsed:.1f}s"
+        )
+        memo = snapshot.get("memo") or {}
+        if "hit_rate" in memo:
+            line += f" | memo hit rate {memo['hit_rate']:.1%}"
+        phase_s = snapshot.get("phase_s")
+        if phase_s:
+            line += " | " + format_phase_share(phase_s)
+        self._emit(line)
+        pool = snapshot.get("pool")
+        if pool and pool.get("workers"):
+            self._emit("workers: " + format_pool_health(pool))
 
     # ------------------------------------------------------------------
     def _emit(self, line: str) -> None:
@@ -88,6 +122,52 @@ class ProgressReporter:
         print(line, file=self.stream)
         if hasattr(self.stream, "flush"):
             self.stream.flush()
+
+
+def format_phase_share(phase_s: dict) -> str:
+    """``name 42% (1.3s)`` fragments, largest share first."""
+    total = sum(phase_s.values())
+    if total <= 0.0:
+        return "(no phase data)"
+    parts = []
+    for name, seconds in sorted(
+        phase_s.items(), key=lambda item: -item[1]
+    ):
+        parts.append(f"{name} {seconds / total:.0%} ({seconds:.2f}s)")
+    return ", ".join(parts)
+
+
+def format_pool_health(pool: dict) -> str:
+    """One fragment per worker plus pool-wide crash/resubmit counts.
+
+    A worker whose on-worker busy time trails the pool's best by more
+    than half is flagged as a straggler — the thing to look at when a
+    distributed sweep's wall clock stops scaling.
+    """
+    workers = pool.get("workers", {})
+    best_busy = max(
+        (stats.get("busy_s", 0.0) for stats in workers.values()), default=0.0
+    )
+    parts = []
+    for label, stats in sorted(workers.items()):
+        fragment = (
+            f"{label} {stats.get('shards', 0)} shard(s) "
+            f"busy {stats.get('busy_s', 0.0):.1f}s"
+        )
+        inflight = stats.get("inflight", 0)
+        if inflight:
+            fragment += f" +{inflight} inflight"
+        if best_busy > 0.0 and stats.get("busy_s", 0.0) < 0.5 * best_busy:
+            fragment += " [straggler]"
+        parts.append(fragment)
+    line = "; ".join(parts) if parts else "(none)"
+    crashes = pool.get("crashes", 0)
+    if crashes:
+        line += (
+            f" | {crashes} crash(es), "
+            f"{pool.get('resubmitted_shards', 0)} shard(s) resubmitted"
+        )
+    return line
 
 
 def make_progress(progress) -> ProgressReporter:

@@ -35,12 +35,15 @@ pool stretched across machines.
 from __future__ import annotations
 
 import argparse
+import logging
 import pickle
 import select
 import socket
 import struct
 import sys
+import time
 
+from ..telemetry import configure as configure_telemetry
 from .runner import (
     NoLiveWorkersError,
     ShardExecutor,
@@ -50,7 +53,13 @@ from .runner import (
     handle_worker_message,
 )
 
-PROTOCOL_VERSION = 1
+logger = logging.getLogger(__name__)
+
+# Version 2 adds the driver->worker ("config", settings) message and
+# the optional 7th (phases) element on "ok" replies.  Drivers only send
+# "config" to workers that said hello with version >= 2, so mixed
+# deployments keep working: an old worker simply never reports phases.
+PROTOCOL_VERSION = 2
 _HEADER = struct.Struct(">I")
 # A frame is bounded by the largest prime payload (two DEM JSONs plus
 # the all-pairs distance matrices) — far below this, but cap it so a
@@ -122,6 +131,9 @@ def _serve_connection(conn: socket.socket) -> None:
     so stale circuits can never leak between sweeps.
     """
     conn.sendall(_encode_frame(("hello", PROTOCOL_VERSION)))
+    # Telemetry is per-driver state: a serve-forever worker must not
+    # carry the previous driver's setting into the next session.
+    configure_telemetry(enabled=False)
     executor = ShardExecutor()
     while True:
         message = _recv_frame(conn)
@@ -191,13 +203,18 @@ def main(argv=None) -> int:
 class _Connection:
     """Driver-side state of one worker link."""
 
-    __slots__ = ("addr", "sock", "buffer", "alive")
+    __slots__ = ("addr", "sock", "buffer", "alive", "protocol")
 
     def __init__(self, addr: tuple[str, int], sock: socket.socket):
         self.addr = addr
         self.sock = sock
         self.buffer = bytearray()
         self.alive = True
+        self.protocol = 1  # updated from the worker's hello
+
+    @property
+    def label(self) -> str:
+        return f"{self.addr[0]}:{self.addr[1]}"
 
 
 class RemoteBackend(WorkerPoolBackend):
@@ -228,9 +245,34 @@ class RemoteBackend(WorkerPoolBackend):
         self.connect_timeout = connect_timeout
         self.send_timeout = send_timeout
         self._conns: list[_Connection] = []
+        # Wire-level metrics (sweep-lifetime totals, surfaced via
+        # pool_health): frame bytes each way and driver-side pickle
+        # serialisation time.
+        self._bytes_out = 0
+        self._bytes_in = 0
+        self._serialize_s = 0.0
         self._init_pool()
 
     # transport hooks ---------------------------------------------------
+    def _worker_label(self, worker: int) -> str:
+        if worker < len(self._conns):
+            return self._conns[worker].label
+        return f"remote:{worker}"
+
+    def _worker_protocol(self, worker: int) -> int:
+        if worker < len(self._conns):
+            return self._conns[worker].protocol
+        return 1
+
+    def _transport_stats(self) -> dict:
+        return {
+            "wire": {
+                "bytes_out": self._bytes_out,
+                "bytes_in": self._bytes_in,
+                "serialize_s": self._serialize_s,
+            }
+        }
+
     def _worker_slots(self) -> int:
         if not self._conns:
             return len(self.addrs)
@@ -259,6 +301,8 @@ class RemoteBackend(WorkerPoolBackend):
                     f"worker at {addr[0]}:{addr[1]} did not say hello "
                     f"(got {hello!r}) — is it a repro-worker?"
                 )
+            if len(hello) > 1:
+                conn.protocol = int(hello[1])
             sock.settimeout(None)
             sock.setblocking(False)
             self._conns.append(conn)
@@ -266,6 +310,9 @@ class RemoteBackend(WorkerPoolBackend):
 
     def _send(self, worker: int, message: tuple) -> None:
         conn = self._conns[worker]
+        t0 = time.perf_counter()
+        frame = _encode_frame(message)
+        self._serialize_s += time.perf_counter() - t0
         try:
             # Bounded, not plain blocking: a wedged-but-connected
             # worker (or a silently-dropping partition) whose receive
@@ -273,11 +320,12 @@ class RemoteBackend(WorkerPoolBackend):
             # ``send_timeout``, not stall the whole driver inside
             # submit — crash recovery can only fire on an error.
             conn.sock.settimeout(self.send_timeout)
-            conn.sock.sendall(_encode_frame(message))
+            conn.sock.sendall(frame)
             conn.sock.setblocking(False)
         except OSError:  # includes socket.timeout
             self._worker_died(worker)
             raise _WorkerDied(worker) from None
+        self._bytes_out += len(frame)
 
     # ------------------------------------------------------------------
     def _blocking_frame(self, conn: _Connection):
@@ -294,6 +342,12 @@ class RemoteBackend(WorkerPoolBackend):
             conn.sock.close()
         except OSError:
             pass
+        # _forget_worker logs the lost shard ids; this names the remote
+        # endpoint and what's left of the pool.
+        logger.warning(
+            "remote worker %s disconnected; %d worker(s) remain",
+            conn.label, sum(1 for c in self._conns if c.alive),
+        )
         self._forget_worker(worker)
 
     def _drain(self, timeout: float) -> list[ShardOutcome]:
@@ -330,6 +384,7 @@ class RemoteBackend(WorkerPoolBackend):
                 # EOF / reset: the worker is gone; disown its shards.
                 self._worker_died(worker)
                 continue
+            self._bytes_in += len(chunk)
             conn.buffer.extend(chunk)
             for message in self._parse_buffer(conn):
                 outcome = self._handle(message)

@@ -118,26 +118,33 @@ class ShardRecord:
     failures: int
     elapsed_s: float = 0.0
     run_config: dict = field(default_factory=dict)
+    # Telemetry-enabled runs checkpoint the shard's per-phase seconds
+    # too, so a resumed job's phase attribution stays complete.  None
+    # (telemetry off) serialises to no field at all — records stay
+    # byte-identical to pre-telemetry stores.
+    phases: dict | None = None
 
     def to_jsonable(self) -> dict:
         # The top-level "shard" wrapper is the format discriminator:
         # pre-checkpoint readers fail to parse it as a JobResult (no
         # "job" field) and skip the line as corrupt, which is exactly
         # the backward-compatible behaviour we want.
-        return {
-            "shard": {
-                "job_key": self.job_key,
-                "shard_index": self.shard_index,
-                "shots": self.shots,
-                "failures": self.failures,
-                "elapsed_s": self.elapsed_s,
-                "run_config": self.run_config,
-            }
+        body = {
+            "job_key": self.job_key,
+            "shard_index": self.shard_index,
+            "shots": self.shots,
+            "failures": self.failures,
+            "elapsed_s": self.elapsed_s,
+            "run_config": self.run_config,
         }
+        if self.phases:
+            body["phases"] = self.phases
+        return {"shard": body}
 
     @classmethod
     def from_jsonable(cls, data: dict) -> "ShardRecord":
         body = data["shard"]
+        phases = body.get("phases")
         return cls(
             job_key=str(body["job_key"]),
             shard_index=int(body["shard_index"]),
@@ -145,6 +152,7 @@ class ShardRecord:
             failures=int(body["failures"]),
             elapsed_s=float(body.get("elapsed_s", 0.0)),
             run_config=dict(body.get("run_config", {})),
+            phases=dict(phases) if phases else None,
         )
 
 

@@ -38,6 +38,7 @@ freed capacity in unconverged design points.
 from __future__ import annotations
 
 import hashlib
+import logging
 import math
 import multiprocessing
 import os
@@ -60,13 +61,31 @@ from ..sim.circuit import StabilizerCircuit
 from ..sim.dem_sampler import DemSampler, PackedShard
 from ..sim.frame import FrameSimulator
 from ..sim.text_format import circuit_from_text
+from ..telemetry import configure as configure_telemetry
+from ..telemetry import get as active_telemetry
+from ..telemetry import span
 from .cache import CompilationCache, CompiledCircuit, dem_from_jsonable, dem_to_jsonable
 from .progress import make_progress
 from .results import JobResult, ResultStore, ShardRecord
 from .scheduler import JobState, ShardOutcome, ShardTask, StreamScheduler
 from .sweep import SweepJob, SweepSpec
 
+logger = logging.getLogger(__name__)
+
 DEFAULT_SHARD_SHOTS = 2048
+
+# Canonical phase ordering for display and worker-lane trace synthesis:
+# the pipeline order, then anything novel alphabetically after.
+PHASE_ORDER = (
+    "compile", "dem", "dijkstra", "sample", "sample.draw", "sample.place",
+    "sample.xor", "unique", "memo", "decode", "scatter", "other",
+)
+
+
+def ordered_phases(phases: dict) -> list[str]:
+    """Phase names in canonical pipeline order (unknown names last)."""
+    rank = {name: i for i, name in enumerate(PHASE_ORDER)}
+    return sorted(phases, key=lambda name: (rank.get(name, len(rank)), name))
 
 
 # ----------------------------------------------------------------------
@@ -114,7 +133,7 @@ def sample_shard(
     decoder,
     shard: Shard,
     sampler: DemSampler | None = None,
-) -> tuple[int, tuple[int, int, int]]:
+) -> tuple[int, tuple[int, int, int], dict | None]:
     """Sample one shard and count its logical failures.
 
     The shard flows packed end to end: a :class:`DemSampler` emits
@@ -124,21 +143,46 @@ def sample_shard(
     decoder consumes the uint64 words via ``logical_failures_packed``
     and the shard's ``SeedSequence`` fully determines the draw.
 
-    Returns ``(failures, (memo_hits, memo_misses, memo_size))`` — the
-    shard's own syndrome-memo traffic, for dedupe observability.
+    Returns ``(failures, (memo_hits, memo_misses, memo_size), phases)``
+    — the shard's own syndrome-memo traffic and, when telemetry is
+    enabled, its per-phase exclusive seconds (sample / unique / memo /
+    decode / scatter, plus ``other`` for the residue between the
+    instrumented phases and the shard's wall clock).  ``phases`` is
+    ``None`` with telemetry off — the hot path stays allocation-free.
     """
-    if sampler is not None:
-        packed = sampler.sample_packed(shard.shots, seed=shard.seed)
-    else:
-        sample = FrameSimulator(circuit, seed=shard.seed).sample(shard.shots)
-        packed = PackedShard.from_bool(sample.detectors, sample.observables)
-    memo = decoder.syndrome_memo()
-    hits0, misses0, _ = memo.snapshot()
-    failures = int(
-        decoder.logical_failures_packed(packed.det_words, packed.obs_words).sum()
-    )
-    hits1, misses1, size = memo.snapshot()
-    return failures, (hits1 - hits0, misses1 - misses0, size)
+    telemetry = active_telemetry()
+    enabled = telemetry.enabled
+    phases0 = telemetry.phase_snapshot() if enabled else None
+    with telemetry.span("shard"):
+        with telemetry.span("sample"):
+            if sampler is not None:
+                packed = sampler.sample_packed(shard.shots, seed=shard.seed)
+            else:
+                sample = FrameSimulator(circuit, seed=shard.seed).sample(
+                    shard.shots
+                )
+                packed = PackedShard.from_bool(
+                    sample.detectors, sample.observables
+                )
+        memo = decoder.syndrome_memo()
+        hits0, misses0, _ = memo.snapshot()
+        failures = int(
+            decoder.logical_failures_packed(
+                packed.det_words, packed.obs_words
+            ).sum()
+        )
+        hits1, misses1, size = memo.snapshot()
+    memo_stats = (hits1 - hits0, misses1 - misses0, size)
+    if not enabled:
+        return failures, memo_stats, None
+    phases = telemetry.phase_delta(phases0)
+    # The "shard" span's exclusive time is whatever the instrumented
+    # phases did not cover (packing, memo snapshots, glue): surface it
+    # as "other" so per-shard phases still sum to shard wall clock.
+    residue = phases.pop("shard", 0.0)
+    if residue > 0.0:
+        phases["other"] = phases.get("other", 0.0) + residue
+    return failures, memo_stats, phases
 
 
 # ----------------------------------------------------------------------
@@ -181,15 +225,17 @@ class SerialBackend:
         t0 = time.perf_counter()
         decoder = cache.decoder(compiled, task.decoder)
         sampler = cache.dem_sampler(compiled) if task.sampler == "dem" else None
-        failures, memo = sample_shard(
+        failures, memo, phases = sample_shard(
             compiled.circuit, decoder,
             Shard(task.shard_index, task.shots, task.seed),
             sampler=sampler,
         )
+        # worker stays "" — in-process spans already recorded real trace
+        # events, so the driver must not synthesize a worker lane too.
         self._outcomes.append(
             ShardOutcome(
                 task.seq, task.job_key, task.shots, failures,
-                time.perf_counter() - t0, *memo,
+                time.perf_counter() - t0, *memo, phases=phases,
             )
         )
 
@@ -266,7 +312,7 @@ class ShardExecutor:
                 pass  # shape mismatch: let the decoder compute its own
 
     def run(self, circuit_key, decoder_name, sampler_name, shots, seed):
-        """Sample one shard; returns ``(failures, memo_stats)``."""
+        """Sample one shard; returns ``(failures, memo_stats, phases)``."""
         entry = self._circuits.get(circuit_key)
         if entry is None:
             raise RuntimeError(
@@ -292,8 +338,11 @@ def handle_worker_message(executor: ShardExecutor, message: tuple):
 
     The request/reply state machine shared by both worker transports:
     ``prime`` / ``dmat`` update the executor (priming errors are
-    reported with ``seq=None``), ``shard`` samples and replies;
-    ``stop`` is the caller's business.
+    reported with ``seq=None``), ``config`` toggles worker-side
+    telemetry, ``shard`` samples and replies; ``stop`` is the caller's
+    business.  A shard that ran with telemetry enabled replies with a
+    7th element — its per-phase seconds dict — which drivers on the
+    old 6-tuple protocol simply never request.
     """
     kind = message[0]
     if kind == "prime":
@@ -307,13 +356,23 @@ def handle_worker_message(executor: ShardExecutor, message: tuple):
         _, circuit_key, dmat, epoch = message
         executor.set_dmat(circuit_key, dmat)
         return None
+    if kind == "config":
+        # Driver-controlled worker settings; today just the telemetry
+        # switch.  Settings are per-driver state: a serve-forever
+        # worker gets a fresh ``config`` (or none — off) per session.
+        _, settings = message
+        configure_telemetry(enabled=bool(settings.get("telemetry", False)))
+        return None
     _, seq, circuit_key, decoder_name, sampler_name, shots, seed, epoch = message
     try:
         t0 = time.perf_counter()
-        failures, memo = executor.run(
+        failures, memo, phases = executor.run(
             circuit_key, decoder_name, sampler_name, shots, seed
         )
-        return ("ok", seq, failures, time.perf_counter() - t0, epoch, memo)
+        elapsed = time.perf_counter() - t0
+        if phases is not None:
+            return ("ok", seq, failures, elapsed, epoch, memo, phases)
+        return ("ok", seq, failures, elapsed, epoch, memo)
     except BaseException:
         return ("error", seq, traceback.format_exc(), 0.0, epoch, None)
 
@@ -367,8 +426,15 @@ class WorkerPoolBackend:
         # distance matrices (or received them in a late "dmat" send).
         self._dmat_primed: set[tuple[int, str]] = set()
         self._dem_json: dict[str, tuple] = {}
-        # task seq -> (worker index, job key, shots)
-        self._dispatch: dict[int, tuple[int, str, int]] = {}
+        # task seq -> (worker index, job key, shots, dispatch time)
+        self._dispatch: dict[int, tuple[int, str, int, float]] = {}
+        # Workers that received this driver's ("config", ...) settings.
+        self._configured: set[int] = set()
+        # Pool-health bookkeeping: per-worker result stats, keyed by
+        # worker index (labels resolve via _worker_label on export).
+        self._wstats: dict[int, dict] = {}
+        self._crashes = 0
+        self._resubmitted = 0
         # Shards disowned because their worker died, awaiting a
         # take_lost() reap by the scheduler.
         self._lost: list[int] = []
@@ -395,6 +461,16 @@ class WorkerPoolBackend:
     def _send(self, worker: int, message: tuple) -> None:
         raise NotImplementedError
 
+    def _worker_label(self, worker: int) -> str:
+        """Stable human-readable worker identity for logs, traces and
+        pool health (``host:port`` for remote, ``mp:N`` for local)."""
+        return f"{self.name}:{worker}"
+
+    def _worker_protocol(self, worker: int) -> int:
+        """Worker protocol version; in-process pools always match the
+        driver, socket workers report theirs in the hello."""
+        return 2
+
     # ------------------------------------------------------------------
     @property
     def capacity(self) -> int:
@@ -416,12 +492,28 @@ class WorkerPoolBackend:
                 )
             worker = self._pick_worker(task.circuit_key, live)
             try:
+                self._maybe_configure(worker)
                 self._dispatch_shard(worker, task, compiled, cache, live)
             except _WorkerDied:
                 continue  # _send disowned the worker; try a survivor
             self._load[worker] += 1
-            self._dispatch[task.seq] = (worker, task.job_key, task.shots)
+            self._dispatch[task.seq] = (
+                worker, task.job_key, task.shots, time.perf_counter()
+            )
             return
+
+    def _maybe_configure(self, worker: int) -> None:
+        """Ship this driver's settings to a worker exactly once.
+
+        Only when telemetry is enabled (the off path must not change
+        the wire conversation at all) and only to workers speaking
+        protocol >= 2 — an old worker would crash on an unknown kind.
+        """
+        if worker in self._configured:
+            return
+        self._configured.add(worker)
+        if active_telemetry().enabled and self._worker_protocol(worker) >= 2:
+            self._send(worker, ("config", {"telemetry": True}))
 
     def _dispatch_shard(self, worker, task, compiled, cache, live) -> None:
         pair = (worker, task.circuit_key)
@@ -487,14 +579,22 @@ class WorkerPoolBackend:
         list (for scheduler resubmission) and its priming state is
         dropped so nothing is ever routed to it again."""
         lost = [
-            seq for seq, (w, _key, _shots) in self._dispatch.items() if w == worker
+            seq for seq, entry in self._dispatch.items() if entry[0] == worker
         ]
         for seq in lost:
             del self._dispatch[seq]
             self._forgotten.add(seq)
         self._lost.extend(lost)
+        self._crashes += 1
+        self._resubmitted += len(lost)
+        logger.warning(
+            "worker %s died with %d shard(s) in flight%s",
+            self._worker_label(worker), len(lost),
+            f" (lost shard seqs: {lost})" if lost else "",
+        )
         if worker < len(self._load):
             self._load[worker] = 0
+        self._configured.discard(worker)
         self._primed = {pair for pair in self._primed if pair[0] != worker}
         self._dmat_primed = {
             pair for pair in self._dmat_primed if pair[0] != worker
@@ -507,7 +607,13 @@ class WorkerPoolBackend:
         return lost
 
     def _handle(self, message) -> ShardOutcome | None:
-        kind, seq, value, elapsed_s, epoch, memo = message
+        kind, seq, value, elapsed_s, epoch, memo = message[:6]
+        # Protocol >= 2 telemetry replies append the phase dict; a
+        # worker left enabled by an earlier driver must not leak phases
+        # into a telemetry-off run, so gate on our own setting too.
+        phases = message[6] if len(message) > 6 else None
+        if not active_telemetry().enabled:
+            phases = None
         if epoch != self._epoch:
             return None  # shard of an abandoned sweep: silently drop
         dispatched = self._dispatch.pop(seq, None)
@@ -519,16 +625,65 @@ class WorkerPoolBackend:
             # is surplus.
             return None
         if dispatched is not None:
-            worker, job_key, shots = dispatched
+            worker, job_key, shots, t_sent = dispatched
             self._load[worker] -= 1
+            self._record_result_stats(worker, float(elapsed_s), t_sent)
         if kind == "error":
             raise RuntimeError(f"worker shard failed:\n{value}")
         if dispatched is None:
             raise RuntimeError(f"result for unknown shard task {seq}")
         memo = memo if memo is not None else (0, 0, 0)
         return ShardOutcome(
-            seq, job_key, shots, int(value), float(elapsed_s), *memo
+            seq, job_key, shots, int(value), float(elapsed_s), *memo,
+            phases=phases, worker=self._worker_label(worker),
         )
+
+    def _record_result_stats(
+        self, worker: int, busy_s: float, t_sent: float
+    ) -> None:
+        now = time.perf_counter()
+        stats = self._wstats.get(worker)
+        if stats is None:
+            stats = self._wstats[worker] = {
+                "shards": 0, "busy_s": 0.0, "overhead_s": 0.0,
+                "last_heard": now,
+            }
+        stats["shards"] += 1
+        stats["busy_s"] += busy_s
+        # Round-trip minus on-worker execution: queue wait behind the
+        # worker's other shards plus (for remote) wire/serialize time.
+        stats["overhead_s"] += max(0.0, (now - t_sent) - busy_s)
+        stats["last_heard"] = now
+
+    def pool_health(self) -> dict:
+        """Driver-side pool snapshot: per-worker utilisation (shards
+        done, on-worker busy seconds, queue/wire overhead, in-flight
+        count, heartbeat age) plus pool-wide crash/resubmit counts and
+        any transport-level extras (wire bytes for the remote pool)."""
+        now = time.perf_counter()
+        workers = {}
+        for worker in sorted(self._wstats):
+            stats = self._wstats[worker]
+            workers[self._worker_label(worker)] = {
+                "shards": stats["shards"],
+                "busy_s": stats["busy_s"],
+                "overhead_s": stats["overhead_s"],
+                "inflight": (
+                    self._load[worker] if worker < len(self._load) else 0
+                ),
+                "heartbeat_age_s": now - stats["last_heard"],
+            }
+        health = {
+            "workers": workers,
+            "crashes": self._crashes,
+            "resubmitted_shards": self._resubmitted,
+        }
+        health.update(self._transport_stats())
+        return health
+
+    def _transport_stats(self) -> dict:
+        """Pool-wide transport extras merged into :meth:`pool_health`."""
+        return {}
 
     def abandon_pending(self) -> None:
         """Disown every in-flight shard (aborted-sweep recovery).
@@ -538,7 +693,7 @@ class WorkerPoolBackend:
         later sweep sharing this backend can never absorb them.
         """
         self._epoch += 1
-        for worker, _job_key, _shots in self._dispatch.values():
+        for worker, _job_key, _shots, _t_sent in self._dispatch.values():
             if worker < len(self._load):
                 self._load[worker] -= 1
         self._dispatch.clear()
@@ -598,6 +753,9 @@ class MultiprocessBackend(WorkerPoolBackend):
         self._init_pool()
 
     # ------------------------------------------------------------------
+    def _worker_label(self, worker: int) -> str:
+        return f"mp:{worker}"
+
     def _worker_slots(self) -> int:
         if not self._procs:
             return self.max_workers
@@ -814,6 +972,8 @@ class Runner:
         shard_shots: int = DEFAULT_SHARD_SHOTS,
         progress=False,
         checkpoint_shards: bool = True,
+        telemetry=None,
+        status_interval: float | None = None,
     ):
         self.spec = spec
         self._own_backend = backend is None
@@ -840,10 +1000,27 @@ class Runner:
         self.checkpoint_shards = checkpoint_shards
         self._checkpointed = False
         self.progress = make_progress(progress)
+        # The observability surface: defaults to the process registry,
+        # which is disabled unless telemetry.configure() switched it on.
+        self.telemetry = telemetry if telemetry is not None else active_telemetry()
+        # Seconds between live status lines (requires progress); None
+        # disables the periodic snapshot.
+        self.status_interval = status_interval
+        self._status_last = time.monotonic()
         self._artifacts: dict[tuple, JobArtifacts] = {}
         # Sweep-wide syndrome-memo tallies (hit/miss deltas summed over
         # every shard; peak = largest single memo observed anywhere).
         self._memo_totals = {"hits": 0, "misses": 0, "peak_entries": 0}
+        # Sweep-wide per-phase exclusive seconds (summed over shard
+        # outcomes as they land) and total per-job setup time — the
+        # phase breakdown the end-of-sweep summary reports.
+        self._phase_totals: dict[str, float] = {}
+        self._setup_s_total = 0.0
+        self._shards_done = 0
+        # Live memo traffic for the status view (the job-level
+        # _memo_totals only update when a whole job finalizes).
+        self._live_memo_hits = 0
+        self._live_memo_misses = 0
         # What makes two samplings of the same job comparable: stored
         # results are only reused when all of this matches.
         self.run_config = {
@@ -861,7 +1038,7 @@ class Runner:
         completed = self.store.load() if self.store is not None else {}
         results: dict[str, JobResult] = {}
         scheduler = StreamScheduler(
-            self.backend, self.cache, on_outcome=self._checkpoint_outcome
+            self.backend, self.cache, on_outcome=self._on_outcome
         )
         try:
             for job in jobs:
@@ -876,14 +1053,18 @@ class Runner:
                 # layout / noise model: re-run (the fresh record
                 # supersedes the stale one on the next load).
                 t0 = time.perf_counter()
-                artifacts = self._artifacts_for(job)
-                if job.shots <= 0:
-                    results[job.key] = self._finalize(
-                        job, artifacts, time.perf_counter() - t0, None, None
+                with self.telemetry.span("compile", job=job.key):
+                    artifacts = self._artifacts_for(job)
+                    if job.shots <= 0:
+                        results[job.key] = self._finalize(
+                            job, artifacts, time.perf_counter() - t0, None, None
+                        )
+                        continue
+                    compiled = self.cache.compiled(
+                        artifacts.circuit, artifacts.text
                     )
-                    continue
-                compiled = self.cache.compiled(artifacts.circuit, artifacts.text)
                 setup_s = time.perf_counter() - t0
+                self._setup_s_total += setup_s
                 for state in scheduler.add(
                     self._state_for(job, artifacts, compiled, setup_s)
                 ):
@@ -903,28 +1084,111 @@ class Runner:
             # its job's final record; drop the dead lines so the store
             # doesn't grow without bound across runs.
             self.store.compact()
-        self.progress.finish(self.cache.stats(), self._memo_totals)
+        self.progress.finish(
+            self.cache.stats(), self._memo_totals,
+            setup_s=self._setup_s_total, phase_s=self._sweep_phases(),
+        )
         return [results[job.key] for job in jobs]
 
-    # ------------------------------------------------------------------
-    def _checkpoint_outcome(self, task: ShardTask, outcome, state) -> None:
-        """Persist one completed shard (scheduler ``on_outcome`` hook).
+    def _sweep_phases(self) -> dict[str, float]:
+        """Sweep-wide per-phase seconds: shard phases summed over every
+        outcome, plus the driver-side phases (compile / dem / dijkstra)
+        from the registry — disjoint sets, so no double counting even
+        on the serial backend (whose in-process shard spans also land
+        in the registry)."""
+        phases = dict(self._phase_totals)
+        if self.telemetry.enabled:
+            driver_side = self.telemetry.phase_totals()
+            for name in ("compile", "dem", "dijkstra"):
+                if driver_side.get(name, 0.0) > 0.0:
+                    phases[name] = phases.get(name, 0.0) + driver_side[name]
+        return phases
 
-        The final job record appended by ``_finalize`` supersedes these
-        lines; until it lands, they are what lets an interrupted job
-        resume mid-sampling.
+    # ------------------------------------------------------------------
+    def _on_outcome(self, task: ShardTask, outcome, state) -> None:
+        """Absorb one completed shard (scheduler ``on_outcome`` hook):
+        checkpoint it, fold its telemetry into the sweep-wide metrics,
+        synthesize its worker-lane trace events, and emit a throttled
+        live status line when ``status_interval`` is set.
+
+        The final job record appended by ``_finalize`` supersedes the
+        checkpoint lines; until it lands, they are what lets an
+        interrupted job resume mid-sampling.
         """
-        if self.store is None or not self.checkpoint_shards:
-            return
-        self.store.append_shard(ShardRecord(
-            job_key=outcome.job_key,
-            shard_index=task.shard_index,
-            shots=outcome.shots,
-            failures=outcome.failures,
-            elapsed_s=outcome.elapsed_s,
-            run_config=dict(self.run_config),
-        ))
-        self._checkpointed = True
+        self._shards_done += 1
+        self._live_memo_hits += outcome.memo_hits
+        self._live_memo_misses += outcome.memo_misses
+        if self.store is not None and self.checkpoint_shards:
+            self.store.append_shard(ShardRecord(
+                job_key=outcome.job_key,
+                shard_index=task.shard_index,
+                shots=outcome.shots,
+                failures=outcome.failures,
+                elapsed_s=outcome.elapsed_s,
+                run_config=dict(self.run_config),
+                phases=outcome.phases,
+            ))
+            self._checkpointed = True
+        if outcome.phases:
+            for phase, seconds in outcome.phases.items():
+                self._phase_totals[phase] = (
+                    self._phase_totals.get(phase, 0.0) + seconds
+                )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.counter("shards_done").inc()
+            telemetry.counter("shots_done").inc(outcome.shots)
+            telemetry.counter("failures").inc(outcome.failures)
+            telemetry.counter("memo_hits").inc(outcome.memo_hits)
+            telemetry.counter("memo_misses").inc(outcome.memo_misses)
+            telemetry.histogram("shard_elapsed_s").observe(outcome.elapsed_s)
+            if telemetry.trace and outcome.worker:
+                self._synthesize_lane_events(task, outcome, telemetry)
+        if self.status_interval is not None:
+            now = time.monotonic()
+            if now - self._status_last >= self.status_interval:
+                self._status_last = now
+                self.progress.status(self._status_snapshot())
+
+    def _synthesize_lane_events(self, task, outcome, telemetry) -> None:
+        """Worker-lane trace events for one pool-executed shard.
+
+        Pool workers ship phase *durations*, not timestamps (worker
+        clocks are not comparable across hosts), so the driver anchors
+        the shard at its arrival time minus its measured duration and
+        lays the phases out back-to-back inside it.  In-process
+        (serial) shards never reach here: their spans recorded real
+        driver-lane events already, and ``outcome.worker`` is empty.
+        """
+        end = telemetry.now()
+        start = max(0.0, end - outcome.elapsed_s)
+        telemetry.add_event(
+            "shard", start, outcome.elapsed_s, lane=outcome.worker,
+            attrs={
+                "job": outcome.job_key, "shard": task.shard_index,
+                "shots": outcome.shots, "failures": outcome.failures,
+            },
+        )
+        t = start
+        for name in ordered_phases(outcome.phases or {}):
+            dur = outcome.phases[name]
+            telemetry.add_event(name, t, dur, lane=outcome.worker)
+            t += dur
+
+    def _status_snapshot(self) -> dict:
+        """Live sweep state for :meth:`ProgressReporter.status`."""
+        hits, misses = self._live_memo_hits, self._live_memo_misses
+        snapshot = {
+            "shards_done": self._shards_done,
+            "phase_s": self._sweep_phases(),
+            "memo": {"hits": hits, "misses": misses},
+        }
+        if hits + misses:
+            snapshot["memo"]["hit_rate"] = hits / (hits + misses)
+        pool_health = getattr(self.backend, "pool_health", None)
+        if pool_health is not None:
+            snapshot["pool"] = pool_health()
+        return snapshot
 
     def _state_for(
         self, job: SweepJob, artifacts: JobArtifacts, compiled, setup_s: float
@@ -949,6 +1213,7 @@ class Runner:
                     checkpointed[index] = record
         initial_shots = initial_failures = 0
         initial_work_s = 0.0
+        initial_phases: dict[str, float] = {}
         if checkpointed:
             # Resume mid-job: credit the checkpointed shards and plan
             # only the remainder.  The shard RNG streams are positional
@@ -962,6 +1227,11 @@ class Runner:
                     initial_shots += record.shots
                     initial_failures += record.failures
                     initial_work_s += record.elapsed_s
+                    if record.phases:
+                        for phase, seconds in record.phases.items():
+                            initial_phases[phase] = (
+                                initial_phases.get(phase, 0.0) + seconds
+                            )
                 else:
                     remaining.append(shard)
                     if position < tranche:
@@ -980,6 +1250,7 @@ class Runner:
             initial_shots=initial_shots,
             initial_failures=initial_failures,
             initial_work_s=initial_work_s,
+            initial_phases=initial_phases,
         )
 
     def _finalize_state(self, state: JobState, results: dict) -> None:
@@ -998,6 +1269,12 @@ class Runner:
             "misses": state.memo_misses,
             "entries": state.memo_size,
         }
+        if state.phase_s:
+            # Per-phase seconds summed over the job's shards, so stored
+            # results record *where* this point's sampling time went.
+            extras["phases"] = {
+                name: state.phase_s[name] for name in ordered_phases(state.phase_s)
+            }
         self._memo_totals["hits"] += state.memo_hits
         self._memo_totals["misses"] += state.memo_misses
         self._memo_totals["peak_entries"] = max(

@@ -48,10 +48,13 @@ the stream would spin).
 
 from __future__ import annotations
 
+import logging
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -85,6 +88,14 @@ class ShardOutcome:
     are the shard's own syndrome-memo traffic (deltas, so they sum
     across shards); ``memo_size`` is the memo's entry count right after
     the shard, making dedupe behaviour observable from the parent.
+
+    ``phases`` (telemetry-enabled runs only) is the shard's own
+    per-phase exclusive seconds — ``{"sample": ..., "unique": ...,
+    "decode": ...}`` — measured wherever the shard actually ran, so the
+    driver can attribute shard wall-clock across the pipeline.
+    ``worker`` labels that location (``"host:port"`` for remote
+    workers, ``"mp:N"`` for local processes, ``""`` for in-process
+    execution).
     """
 
     seq: int
@@ -95,6 +106,8 @@ class ShardOutcome:
     memo_hits: int = 0
     memo_misses: int = 0
     memo_size: int = 0
+    phases: dict | None = field(default=None, compare=False)
+    worker: str = ""
 
 
 class JobState:
@@ -118,7 +131,7 @@ class JobState:
         "key", "compiled", "decoder", "sampler", "plan", "target_failures",
         "target_rel_stderr", "tranche_shards", "payload", "next_index",
         "inflight", "shots_done", "failures", "shots_submitted", "work_s",
-        "memo_hits", "memo_misses", "memo_size", "retired",
+        "memo_hits", "memo_misses", "memo_size", "phase_s", "retired",
     )
 
     def __init__(
@@ -136,6 +149,7 @@ class JobState:
         initial_shots: int = 0,
         initial_failures: int = 0,
         initial_work_s: float = 0.0,
+        initial_phases: dict | None = None,
     ):
         self.key = key
         self.compiled = compiled
@@ -159,6 +173,9 @@ class JobState:
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_size = 0
+        # Per-phase exclusive seconds summed over this job's shards
+        # (seeded with checkpointed phases on resume, like work_s).
+        self.phase_s: dict[str, float] = dict(initial_phases or {})
         self.retired = False
 
     # ------------------------------------------------------------------
@@ -401,6 +418,10 @@ class StreamScheduler:
             if state.converged:
                 self._drop_task(state)
             else:
+                logger.warning(
+                    "resubmitting shard %d of job %s (seq %d) lost to a "
+                    "dead worker", task.shard_index, task.job_key, seq,
+                )
                 self._retry.append(task)
 
     def _drop_task(self, state: JobState) -> None:
@@ -441,6 +462,9 @@ class StreamScheduler:
             state.work_s += outcome.elapsed_s
             state.memo_hits += outcome.memo_hits
             state.memo_misses += outcome.memo_misses
+            if outcome.phases:
+                for phase, seconds in outcome.phases.items():
+                    state.phase_s[phase] = state.phase_s.get(phase, 0.0) + seconds
             # Peak entry count: shard snapshots of one memo are
             # monotone, so the max is the job's final memo size on its
             # busiest worker.

@@ -65,6 +65,7 @@ import numpy as np
 from .circuit import StabilizerCircuit
 from .dem import DetectorErrorModel, circuit_to_dems
 from .frame import SampleResult
+from ..telemetry import span
 
 
 
@@ -204,7 +205,8 @@ class DemSampler:
         obs = np.zeros((shots, self.obs_words.shape[1]), dtype=np.uint64)
         if shots == 0 or self.num_errors == 0:
             return self._shard(det, obs)
-        counts = rng.binomial(shots, self.probabilities)
+        with span("sample.draw"):
+            counts = rng.binomial(shots, self.probabilities)
         # Mechanisms that fired in *every* shot (p at or near 1) XOR
         # into the whole shard directly; placing them through the
         # collision loop below would never converge for k == shots.
@@ -216,23 +218,26 @@ class DemSampler:
         total = int(counts.sum())
         if total == 0:
             return self._shard(det, obs)
-        mech_idx = np.repeat(np.arange(self.num_errors), counts)
-        # Distinct uniform placement per mechanism: draw with
-        # replacement, then redraw whichever later duplicates remain
-        # until every (mechanism, shot) pair is unique.  Collisions are
-        # O(k/shots)-rare, so the loop all but never iterates twice.
-        pos = rng.integers(0, shots, size=total)
-        pair = mech_idx * np.int64(shots) + pos
-        while True:
-            order = np.argsort(pair, kind="stable")
-            dup_sorted = pair[order][1:] == pair[order][:-1]
-            if not dup_sorted.any():
-                break
-            redraw = order[1:][dup_sorted]
-            pos[redraw] = rng.integers(0, shots, size=len(redraw))
-            pair[redraw] = mech_idx[redraw] * np.int64(shots) + pos[redraw]
-        np.bitwise_xor.at(det, pos, self.det_words[mech_idx])
-        np.bitwise_xor.at(obs, pos, self.obs_words[mech_idx])
+        with span("sample.place"):
+            mech_idx = np.repeat(np.arange(self.num_errors), counts)
+            # Distinct uniform placement per mechanism: draw with
+            # replacement, then redraw whichever later duplicates remain
+            # until every (mechanism, shot) pair is unique.  Collisions
+            # are O(k/shots)-rare, so the loop all but never iterates
+            # twice.
+            pos = rng.integers(0, shots, size=total)
+            pair = mech_idx * np.int64(shots) + pos
+            while True:
+                order = np.argsort(pair, kind="stable")
+                dup_sorted = pair[order][1:] == pair[order][:-1]
+                if not dup_sorted.any():
+                    break
+                redraw = order[1:][dup_sorted]
+                pos[redraw] = rng.integers(0, shots, size=len(redraw))
+                pair[redraw] = mech_idx[redraw] * np.int64(shots) + pos[redraw]
+        with span("sample.xor"):
+            np.bitwise_xor.at(det, pos, self.det_words[mech_idx])
+            np.bitwise_xor.at(obs, pos, self.obs_words[mech_idx])
         return self._shard(det, obs)
 
     def _shard(self, det: np.ndarray, obs: np.ndarray) -> PackedShard:

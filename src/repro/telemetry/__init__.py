@@ -1,0 +1,67 @@
+"""repro.telemetry — zero-dependency metrics and tracing for the engine.
+
+A lightweight, process-local observability layer threaded through the
+sweep engine: counters, gauges, fixed-bucket histograms, and
+``span(name)`` timers that aggregate *exclusive* (self) time per phase
+name — which is what lets the engine report where shard wall-clock time
+actually goes (sample vs ``np.unique`` vs memo lookup vs batched decode
+vs scatter) and lets per-phase totals sum back to wall-clock time.
+
+Telemetry is **off by default** and the disabled path is a no-op:
+``span()`` returns a shared singleton context manager (no allocation on
+the hot path), and no counter or event is touched.  Enabling costs a
+couple of ``perf_counter`` calls per span, which the engine only opens
+at shard/batch granularity, never per shot — the overhead is gated by
+``benchmarks/bench_telemetry_overhead.py``.
+
+Two export surfaces:
+
+- :func:`~repro.telemetry.core.Telemetry.export_jsonl` — a JSONL event
+  sink (one metric / phase aggregate / span event per line);
+- :mod:`repro.telemetry.trace` — a Chrome ``trace_event`` exporter
+  (``repro-sweep ... --trace out.json``) whose output loads in
+  Perfetto / ``chrome://tracing`` with shard spans laid out one lane
+  per worker.
+
+Typical use::
+
+    from repro import telemetry
+
+    tel = telemetry.configure(enabled=True, trace=True)
+    with telemetry.span("decode"):
+        ...
+    tel.counter("shards_done").inc()
+    telemetry.write_chrome_trace("out.json", tel)
+
+Determinism contract: telemetry never touches RNG streams, job keys or
+stored record *keys* — timings live only in record values — so failure
+counts and store keys are bit-identical with telemetry on or off.
+"""
+
+from .core import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+    configure,
+    get,
+    set_active,
+    span,
+)
+from .trace import chrome_trace, validate_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Telemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_TIME_BUCKETS",
+    "get",
+    "set_active",
+    "configure",
+    "span",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,155 @@
+"""Chrome ``trace_event`` export for :mod:`repro.telemetry`.
+
+Converts a registry's buffered span extents into the JSON object format
+that Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+directly: one complete-duration (``"ph": "X"``) event per span, with
+lanes mapped onto thread ids so each worker gets its own track.  The
+driver's own spans land on a ``driver`` lane; shard spans shipped back
+from pool workers are synthesized onto one lane per worker label
+(``host:port`` for remote workers, ``mp:N`` for local processes).
+
+The exporter is deterministic given the same events: lane→tid numbering
+is assigned by sorted lane name, and timestamps are microseconds
+relative to the registry epoch (never wall-clock dates), so two runs of
+the same seeded sweep produce structurally identical traces.
+
+``python -m repro.telemetry.trace --validate out.json`` checks a trace
+file against the schema (used by CI on the remote-smoke artifact).
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def chrome_trace(telemetry, process_name: str = "repro-sweep") -> dict:
+    """Build a Chrome ``trace_event`` JSON object from a registry.
+
+    Returns a dict with a ``traceEvents`` list: ``"M"`` metadata events
+    naming the process and one thread per lane, then one ``"X"``
+    complete event per buffered span (``ts``/``dur`` in integer
+    microseconds, in recording order — monotonic non-decreasing ``ts``
+    within each lane).
+    """
+    # Spans are buffered at *exit*, so parents trail their children;
+    # sort by start time to restore monotonic ts within every lane.
+    events = sorted(telemetry.events(), key=lambda e: e[0])
+    lanes = sorted({lane for _, _, _, lane, _ in events})
+    # "driver" first (tid 0) so the coordinating lane tops the view.
+    if "driver" in lanes:
+        lanes.remove("driver")
+        lanes.insert(0, "driver")
+    tids = {lane: i for i, lane in enumerate(lanes)}
+
+    trace_events = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for lane in lanes:
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tids[lane],
+            "args": {"name": lane},
+        })
+    for ts, dur, name, lane, attrs in events:
+        event = {
+            "name": name, "ph": "X", "pid": 0, "tid": tids[lane],
+            "ts": int(round(ts * 1e6)), "dur": int(round(dur * 1e6)),
+        }
+        if attrs:
+            event["args"] = attrs
+        trace_events.append(event)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, telemetry, process_name: str = "repro-sweep") -> int:
+    """Write the registry's trace to ``path``; returns the event count."""
+    trace = chrome_trace(telemetry, process_name=process_name)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_trace(trace) -> list[str]:
+    """Schema-check a trace object (or already-parsed dict).
+
+    Returns a list of problems (empty == valid).  Checks the invariants
+    a Perfetto load relies on: a ``traceEvents`` list, every event with
+    ``name``/``ph``/``pid``/``tid``, every ``"X"`` event with integer
+    non-negative ``ts``/``dur``, ``ts`` monotonic non-decreasing within
+    each ``(pid, tid)`` lane, and every referenced lane named by a
+    ``thread_name`` metadata event.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return ["trace is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    named_lanes = set()
+    used_lanes = set()
+    last_ts: dict[tuple, int] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                problems.append(f"event {i}: missing {field!r}")
+        ph = event.get("ph")
+        lane = (event.get("pid"), event.get("tid"))
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                named_lanes.add(lane)
+        elif ph == "X":
+            used_lanes.add(lane)
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, int) or value < 0:
+                    problems.append(
+                        f"event {i}: {field!r} must be a non-negative "
+                        f"integer, got {value!r}"
+                    )
+            ts = event.get("ts")
+            if isinstance(ts, int):
+                if ts < last_ts.get(lane, 0):
+                    problems.append(
+                        f"event {i}: ts {ts} decreases on lane {lane}"
+                    )
+                else:
+                    last_ts[lane] = ts
+        else:
+            problems.append(f"event {i}: unsupported ph {ph!r}")
+    for lane in sorted(used_lanes - named_lanes):
+        problems.append(f"lane {lane} has events but no thread_name metadata")
+    return problems
+
+
+def main(argv=None) -> int:
+    """``python -m repro.telemetry.trace --validate FILE`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry.trace",
+        description="Validate a Chrome trace_event JSON file.",
+    )
+    parser.add_argument("--validate", metavar="FILE", required=True,
+                        help="trace file to schema-check")
+    args = parser.parse_args(argv)
+    with open(args.validate) as fh:
+        trace = json.load(fh)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    lanes = sum(
+        1 for e in trace["traceEvents"]
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    )
+    print(f"ok: {spans} spans across {lanes} lanes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -111,7 +111,15 @@ def cmd_sweep(args) -> int:
     mid-sweep is recovered (its shards rerun on survivors with their
     original seeds), and with ``--results`` every completed shard is
     checkpointed so even a killed driver resumes mid-job.
+
+    Observability: ``--trace out.json`` records a Chrome
+    ``trace_event`` file (load in https://ui.perfetto.dev — one lane
+    per worker), ``--telemetry-jsonl`` dumps every metric and span as
+    JSON lines, and ``--status [SECS]`` prints a live per-phase /
+    per-worker status line while the sweep runs.  All three enable
+    telemetry; sampled failure counts are bit-identical either way.
     """
+    from .. import telemetry
     from ..engine import SweepSpec
 
     backend = None
@@ -152,6 +160,11 @@ def cmd_sweep(args) -> int:
         sampler=args.sampler,
         target_rel_stderr=args.target_rel_stderr,
     )
+    telemetry_on = bool(
+        args.trace or args.telemetry_jsonl or args.status is not None
+    )
+    if telemetry_on:
+        telemetry.configure(enabled=True, trace=bool(args.trace))
     explorer = DesignSpaceExplorer(code_name=args.code, seed=args.seed)
     options = dict(
         workers=args.workers,
@@ -159,8 +172,10 @@ def cmd_sweep(args) -> int:
         cache_max_mb=args.cache_max_mb,
         results_path=args.results,
         shard_shots=args.shard_shots,
-        progress=args.progress,
+        # --status implies progress: the live view needs a reporter.
+        progress=args.progress or args.status is not None,
         checkpoint_shards=not args.no_shard_checkpoints,
+        status_interval=args.status,
     )
     if backend is not None:
         # CLI-constructed backends are CLI-owned: close (or, on error,
@@ -169,6 +184,13 @@ def cmd_sweep(args) -> int:
             records = explorer.sweep(spec, backend=backend, **options)
     else:
         records = explorer.sweep(spec, **options)
+    if args.trace:
+        events = telemetry.write_chrome_trace(args.trace, telemetry.get())
+        print(f"wrote {events} trace event(s) to {args.trace}", file=sys.stderr)
+    if args.telemetry_jsonl:
+        lines = telemetry.get().export_jsonl(args.telemetry_jsonl)
+        print(f"wrote {lines} telemetry line(s) to {args.telemetry_jsonl}",
+              file=sys.stderr)
     _print_records(records, args.csv)
     return 0
 
@@ -271,6 +293,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "direct fast path, 'frame' = gate-by-gate "
                               "circuit replay (pre-fast-path keys and "
                               "shard RNG streams)")
+    p_sweep.add_argument("--trace", default=None, metavar="PATH",
+                         help="enable telemetry and write a Chrome "
+                              "trace_event JSON file (Perfetto-loadable, "
+                              "one lane per worker)")
+    p_sweep.add_argument("--telemetry-jsonl", default=None, metavar="PATH",
+                         help="enable telemetry and dump every metric / "
+                              "phase aggregate / span as JSON lines")
+    p_sweep.add_argument("--status", type=float, nargs="?", const=5.0,
+                         default=None, metavar="SECS",
+                         help="enable telemetry and print a live status "
+                              "line (per-phase time share, memo hit rate, "
+                              "worker utilisation) every SECS seconds "
+                              "(default 5); implies --progress")
     p_sweep.add_argument("--progress", action="store_true",
                          help="per-job progress lines on stderr, plus an "
                               "end-of-sweep summary with compilation-cache "

@@ -138,7 +138,7 @@ class FlakyBackend:
         sampler = (
             cache.dem_sampler(compiled) if task.sampler == "dem" else None
         )
-        failures, memo = sample_shard(
+        failures, memo, phases = sample_shard(
             compiled.circuit, decoder,
             Shard(task.shard_index, task.shots, task.seed),
             sampler=sampler,
@@ -147,7 +147,7 @@ class FlakyBackend:
         self._completed += 1
         self._maybe_drop()
         return [ShardOutcome(task.seq, task.job_key, task.shots, failures,
-                             0.0, *memo)]
+                             0.0, *memo, phases=phases)]
 
     def abandon_pending(self) -> None:
         self._queues = [[] for _ in range(self.workers)]
