@@ -16,8 +16,30 @@ from .ir import (
     QccdOp,
 )
 from .optimal import OptimalEstimate, optimal_estimate, single_chain_round_time
-from .place import Placement, build_device_for, layout_positions, partition_qubits, place
-from .route import Router, RoutingError
+from .place import (
+    PLACERS,
+    Placement,
+    PlacementStrategy,
+    ProjectionPlacer,
+    WindowPlacer,
+    available_placers,
+    build_device_for,
+    layout_positions,
+    partition_qubits,
+    place,
+    placer_by_name,
+    register_placer,
+)
+from .route import GreedyRouter, Router, RoutingError
+from .route_layered import LayeredRouter
+from .route_parallel import ParallelRouter
+from .routing_base import (
+    ROUTERS,
+    RoutingStrategy,
+    available_routers,
+    register_router,
+    router_by_name,
+)
 from .schedule import (
     critical_path_lengths,
     makespan,
@@ -51,12 +73,27 @@ __all__ = [
     "optimal_estimate",
     "single_chain_round_time",
     "Placement",
+    "PlacementStrategy",
+    "ProjectionPlacer",
+    "WindowPlacer",
+    "PLACERS",
+    "available_placers",
+    "placer_by_name",
+    "register_placer",
     "build_device_for",
     "layout_positions",
     "partition_qubits",
     "place",
     "Router",
+    "GreedyRouter",
+    "LayeredRouter",
+    "ParallelRouter",
+    "RoutingStrategy",
     "RoutingError",
+    "ROUTERS",
+    "available_routers",
+    "router_by_name",
+    "register_router",
     "critical_path_lengths",
     "makespan",
     "schedule",

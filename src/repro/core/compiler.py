@@ -4,14 +4,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..arch.timing import DEFAULT_TIMES, OperationTimes
 from ..arch.wiring import STANDARD_WIRING, WiringMethod
 from ..codes.base import StabilizerCode
 from .ir import MOVEMENT_KINDS, CompiledProgram, ProgramStats, QccdOp
 from .place import Placement, place
-from .route import Router
+from .routing_base import router_by_name
 from .schedule import makespan, schedule
 from .translate import build_gate_dag
+
+# Importing the strategy modules registers them; ``route`` also carries
+# the back-compat ``Router`` name.
+from . import route as _route  # noqa: F401
+from . import route_layered as _route_layered  # noqa: F401
+from . import route_parallel as _route_parallel  # noqa: F401
 
 
 @dataclass
@@ -25,6 +32,8 @@ class CompilerConfig:
     rounds: int = 1
     basis: str = "Z"
     times: OperationTimes = field(default_factory=lambda: DEFAULT_TIMES)
+    router: str = "greedy"
+    placer: str = "projection"
 
     def operation_times(self) -> OperationTimes:
         return self.wiring.operation_times(self.times)
@@ -63,9 +72,12 @@ def compute_stats(
 class QccdCompiler:
     """Compile a QEC memory experiment onto a QCCD device.
 
-    Pipeline: translate (commutation-aware DAG) -> place (partition +
-    Hungarian) -> route (multi-pass shortest paths) -> schedule (ASAP or
-    WISE type-exclusive list scheduling).
+    Pipeline: translate (commutation-aware DAG) -> place (pluggable
+    placement strategy, default partition + Hungarian) -> route
+    (pluggable routing strategy, default multi-pass shortest paths) ->
+    schedule (ASAP or WISE type-exclusive list scheduling).  Strategies
+    are selected by name via ``config.router`` / ``config.placer``
+    (see :mod:`repro.core.routing_base` and :mod:`repro.core.place`).
     """
 
     def __init__(self, config: CompilerConfig):
@@ -73,11 +85,16 @@ class QccdCompiler:
 
     def compile(self) -> CompiledProgram:
         cfg = self.config
-        gates = build_gate_dag(cfg.code, cfg.rounds, cfg.basis)
-        placement = self.placement()
-        router = Router(cfg.code, placement, gates, cfg.operation_times())
-        ops = router.run()
-        start = schedule(ops, cfg.wiring)
+        router_cls = router_by_name(cfg.router)
+        with telemetry.span("compile.translate"):
+            gates = build_gate_dag(cfg.code, cfg.rounds, cfg.basis)
+        with telemetry.span("compile.place", placer=cfg.placer):
+            placement = self.placement()
+        with telemetry.span("compile.route", router=cfg.router):
+            router = router_cls(cfg.code, placement, gates, cfg.operation_times())
+            ops = router.run()
+        with telemetry.span("compile.schedule"):
+            start = schedule(ops, cfg.wiring)
         stats = compute_stats(ops, start, cfg.rounds)
         return CompiledProgram(
             ops=ops,
@@ -85,11 +102,13 @@ class QccdCompiler:
             rounds=cfg.rounds,
             qubit_to_trap=dict(placement.qubit_to_trap),
             stats=stats,
+            router=cfg.router,
+            placer=cfg.placer,
         )
 
     def placement(self) -> Placement:
         cfg = self.config
-        return place(cfg.code, cfg.trap_capacity, cfg.topology)
+        return place(cfg.code, cfg.trap_capacity, cfg.topology, placer=cfg.placer)
 
 
 def compile_memory_experiment(
@@ -99,6 +118,8 @@ def compile_memory_experiment(
     wiring: WiringMethod = STANDARD_WIRING,
     rounds: int = 1,
     basis: str = "Z",
+    router: str = "greedy",
+    placer: str = "projection",
 ) -> CompiledProgram:
     """One-call convenience wrapper used by examples and benchmarks."""
     config = CompilerConfig(
@@ -108,6 +129,8 @@ def compile_memory_experiment(
         wiring=wiring,
         rounds=rounds,
         basis=basis,
+        router=router,
+        placer=placer,
     )
     return QccdCompiler(config).compile()
 

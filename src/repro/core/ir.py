@@ -86,6 +86,8 @@ class CompiledProgram:
     rounds: int
     qubit_to_trap: dict[int, int]    # initial placement
     stats: ProgramStats
+    router: str = "greedy"           # routing strategy that produced ops
+    placer: str = "projection"       # placement strategy behind qubit_to_trap
 
     def end(self, op_id: int) -> float:
         return self.start[op_id] + self.ops[op_id].duration

@@ -1,7 +1,8 @@
-"""Ion routing (Sec. 4.3, Figure 7).
+"""The ``greedy`` routing strategy (Sec. 4.3, Figure 7).
 
-The router turns the commutation-aware gate DAG into a QCCD instruction
-stream.  It works in passes; each pass:
+The paper's router, re-expressed on the shared substrate
+(:class:`repro.core.routing_base.RoutingStrategy`).  It works in
+passes; each pass:
 
 1. sequences every ready gate whose qubits already share a trap;
 2. plans shortest admissible paths for the ancillas of blocked gates,
@@ -20,179 +21,25 @@ stream.  It works in passes; each pass:
 Happens-before edges are tracked per ion and per hardware component,
 so the schedule derived later can overlap everything that is physically
 independent.
+
+Only the pass structure and the priority-order movement policy live
+here; pathfinding, emission and invariant restoration are substrate
+machinery, so this strategy is bit-identical to the pre-strategy
+``Router`` monolith by construction.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import defaultdict
+from .ir import QccdOp
+from .routing_base import RoutingError, RoutingStrategy, register_router
 
-from ..arch.device import QCCDDevice
-from ..arch.timing import OperationTimes
-from ..codes.base import Role, StabilizerCode
-from .ir import LogicalGate, QccdOp
-from .place import Placement
+__all__ = ["GreedyRouter", "Router", "RoutingError"]
 
 
-class RoutingError(RuntimeError):
-    """Raised when the router cannot make progress (deadlock)."""
-
-
-class Router:
-    def __init__(
-        self,
-        code: StabilizerCode,
-        placement: Placement,
-        gates: list[LogicalGate],
-        times: OperationTimes,
-    ):
-        self.code = code
-        self.device: QCCDDevice = placement.device
-        self.times = times
-        self.gates = gates
-        self.chains: dict[int, list[int]] = {
-            t: list(c) for t, c in placement.trap_chains.items()
-        }
-        for trap in self.device.traps:
-            self.chains.setdefault(trap.id, [])
-        self.location: dict[int, int] = dict(placement.qubit_to_trap)
-        self.home: dict[int, int] = dict(placement.qubit_to_trap)
-        self._role = {q.index: q.role for q in code.qubits}
-
-        self.ops: list[QccdOp] = []
-        self._last_ion: dict[int, int] = {}
-        # Per-component op history; an op depends on the op `window`
-        # places back, where window is the component's op-concurrency:
-        # 1 for traps (one laser interaction zone) and segments, the
-        # junction capacity for junctions (the switch hub is a
-        # non-blocking crossbar).
-        self._comp_history: dict[int, list[int]] = {}
-
-        # Gate DAG state.
-        self._remaining = {g.id: len(g.deps) for g in gates}
-        self._dependents: dict[int, list[int]] = defaultdict(list)
-        for g in gates:
-            for dep in g.deps:
-                self._dependents[dep].append(g.id)
-        self._ready: set[int] = {g.id for g in gates if not g.deps}
-        self._sequenced: set[int] = set()
-        # Per-qubit pending gates in priority order (for prefetch routing).
-        self._qubit_gates: dict[int, list[int]] = defaultdict(list)
-        for g in sorted(gates, key=lambda g: g.priority):
-            for q in g.qubits:
-                self._qubit_gates[q].append(g.id)
-        self._qubit_cursor: dict[int, int] = defaultdict(int)
-
-    # ------------------------------------------------------------------
-    # Emission with happens-before tracking
-    # ------------------------------------------------------------------
-    def _emit(
-        self,
-        kind: str,
-        ions: tuple[int, ...],
-        components: tuple[int, ...],
-        duration: float,
-        gate_id: int | None = None,
-        round_idx: int = 0,
-    ) -> int:
-        deps = set()
-        for ion in ions:
-            if ion in self._last_ion:
-                deps.add(self._last_ion[ion])
-        for comp in components:
-            history = self._comp_history.get(comp)
-            if history:
-                window = self._op_concurrency(comp)
-                if len(history) >= window:
-                    deps.add(history[-window])
-        op = QccdOp(
-            id=len(self.ops),
-            kind=kind,
-            ions=ions,
-            components=components,
-            duration=duration,
-            deps=tuple(sorted(deps)),
-            gate_id=gate_id,
-            round=round_idx,
-        )
-        self.ops.append(op)
-        for ion in ions:
-            self._last_ion[ion] = op.id
-        for comp in components:
-            self._comp_history.setdefault(comp, []).append(op.id)
-        return op.id
-
-    def _op_concurrency(self, comp_id: int) -> int:
-        comp = self.device.component(comp_id)
-        if comp.is_junction:
-            return max(1, comp.capacity)
-        return 1
-
-    # ------------------------------------------------------------------
-    # Gate DAG bookkeeping
-    # ------------------------------------------------------------------
-    def _mark_sequenced(self, gate_id: int) -> None:
-        self._ready.discard(gate_id)
-        self._sequenced.add(gate_id)
-        for dep_id in self._dependents.get(gate_id, ()):
-            self._remaining[dep_id] -= 1
-            if self._remaining[dep_id] == 0:
-                self._ready.add(dep_id)
-
-    def _next_gate_of(self, qubit: int) -> LogicalGate | None:
-        """The qubit's earliest pending gate (for prefetch routing)."""
-        gates = self._qubit_gates[qubit]
-        cursor = self._qubit_cursor[qubit]
-        while cursor < len(gates) and gates[cursor] in self._sequenced:
-            cursor += 1
-        self._qubit_cursor[qubit] = cursor
-        if cursor < len(gates):
-            return self.gates[gates[cursor]]
-        return None
-
-    def _gate_partner_trap(self, qubit: int) -> int | None:
-        """Trap of the partner of the qubit's next two-qubit gate."""
-        gate = self._next_gate_of(qubit)
-        if gate is None or gate.kind != "CX":
-            return None
-        partner = gate.qubits[0] if gate.qubits[1] == qubit else gate.qubits[1]
-        return self.location[partner]
-
-    # ------------------------------------------------------------------
-    # Pass phases
-    # ------------------------------------------------------------------
-    def _sequence_local_gates(self) -> int:
-        """Emit all ready gates whose qubits share a trap (fixpoint)."""
-        emitted = 0
-        while True:
-            runnable = [
-                gid
-                for gid in self._ready
-                if len({self.location[q] for q in self.gates[gid].qubits}) == 1
-            ]
-            if not runnable:
-                return emitted
-            for gid in sorted(runnable, key=lambda g: self.gates[g].priority):
-                gate = self.gates[gid]
-                trap = self.location[gate.qubits[0]]
-                self._emit(
-                    gate.kind,
-                    gate.qubits,
-                    (trap,),
-                    self.times.gate_duration(gate.kind),
-                    gate_id=gid,
-                    round_idx=gate.round,
-                )
-                self._mark_sequenced(gid)
-                emitted += 1
-
-    def _blocked_gates(self) -> list[LogicalGate]:
-        blocked = [
-            self.gates[gid]
-            for gid in self._ready
-            if len({self.location[q] for q in self.gates[gid].qubits}) > 1
-        ]
-        return sorted(blocked, key=lambda g: g.priority)
+@register_router("greedy")
+class GreedyRouter(RoutingStrategy):
+    """Multi-pass greedy router: priority-ordered movement with
+    conservative per-path occupancy reservation."""
 
     def _movement_phase(self) -> int:
         """Plan and emit one batch of ancilla movements (steps 2-7)."""
@@ -215,309 +62,6 @@ class Router:
             self._emit_hop(mover, path)
         return len(plans)
 
-    def _mover_and_destination(self, gate: LogicalGate) -> tuple[int, int]:
-        """The ancilla moves to the data qubit's trap (Sec. 4.3)."""
-        a, b = gate.qubits
-        if self._role[a] is Role.ANCILLA:
-            return a, self.location[b]
-        if self._role[b] is Role.ANCILLA:
-            return b, self.location[a]
-        # Data-data gates do not occur in parity-check circuits, but route
-        # the second operand for completeness.
-        return b, self.location[a]
-
-    def _restore_invariants(self) -> int:
-        """Drain every trap back to at most capacity - 1 ions (step 9).
-
-        Surplus ions are sent towards their next gate when possible
-        (prefetching), otherwise to the nearest trap with a free
-        resident slot.
-        """
-        emitted = 0
-        alloc = self._occupancy()
-        capacity = self.device.trap_capacity
-        for trap_id in sorted(self.chains):
-            # alloc tracks transit reservations conservatively; actual
-            # occupancy is the chain itself (pass-through reservations
-            # must not count as residents).
-            while len(self.chains[trap_id]) > capacity - 1:
-                ion = self._pick_surplus_ion(trap_id)
-                path = self._restoration_path(ion, alloc)
-                if path is None:
-                    break  # let the outer loop detect true deadlocks
-                alloc[trap_id] -= 1
-                for comp in path[1:]:
-                    alloc[comp] += 1
-                self._emit_hop(ion, path)
-                emitted += 1
-        return emitted
-
-    def _pick_surplus_ion(self, trap_id: int) -> int:
-        """Prefer ancillas heading elsewhere, then visitors; keep data home.
-
-        Data qubits are gate *hosts* (ancillas come to them), so evicting
-        a resident data ion is always the worst choice; an ancilla with a
-        pending remote CX is the best, since its eviction doubles as
-        prefetch routing.
-        """
-        chain = self.chains[trap_id]
-
-        def score(q: int):
-            gate = self._next_gate_of(q)
-            remote_cx = (
-                gate is not None
-                and gate.kind == "CX"
-                and self._gate_partner_trap(q) != trap_id
-            )
-            is_ancilla = self._role[q] is Role.ANCILLA
-            visitor = self.home[q] != trap_id
-            # Tie-break towards chain ends to minimise swap insertion.
-            end_distance = min(chain.index(q), len(chain) - 1 - chain.index(q))
-            return (
-                is_ancilla and remote_cx,
-                visitor,
-                is_ancilla,
-                -end_distance,
-            )
-
-        return max(chain, key=score)
-
-    def _restoration_path(self, ion: int, alloc: dict[int, int]) -> list[int] | None:
-        src = self.location[ion]
-        capacity = self.device.trap_capacity
-        # Best: prefetch towards the next gate's partner trap.
-        preferred = self._gate_partner_trap(ion)
-        if preferred is not None and preferred != src:
-            path = self._find_path(src, preferred, alloc)
-            if path is not None:
-                return path
-        # Second best: go home (usually empty and nearby).
-        home = self.home[ion]
-        if home != src and alloc[home] < capacity - 1:
-            path = self._find_path(src, home, alloc)
-            if path is not None:
-                return path
-        # Fallback: nearest trap with a free resident slot — but only if
-        # it is genuinely nearby.  Long evictions scatter ions across the
-        # device and couple distant regions; an over-full trap can simply
-        # wait a pass instead (arrivals are blocked by its occupancy).
-        path = self._find_path_to_any(
-            src,
-            alloc,
-            lambda t: alloc[t] < capacity - 1 and t != src,
-        )
-        if (
-            not self._strict_restore
-            and path is not None
-            and self._path_cost(path) > 2.2 * self._hop_cost()
-        ):
-            return None
-        return path
-
-    _strict_restore = False
-
-    def _hop_cost(self) -> float:
-        """Cost of one nominal inter-trap hop on this device."""
-        times = self.times
-        if self.device.num_junctions:
-            return (
-                times.split
-                + 2 * times.shuttle
-                + times.junction_entry
-                + times.junction_exit
-                + times.merge
-            )
-        return times.split + times.shuttle + times.merge
-
-    # ------------------------------------------------------------------
-    # Pathfinding
-    # ------------------------------------------------------------------
-    def _occupancy(self) -> dict[int, int]:
-        alloc = {c.id: 0 for c in self.device.components}
-        for trap_id, chain in self.chains.items():
-            alloc[trap_id] = len(chain)
-        return alloc
-
-    def _node_cost(self, comp_id: int, is_destination: bool) -> float:
-        comp = self.device.component(comp_id)
-        times = self.times
-        if comp.is_segment:
-            return times.shuttle
-        if comp.is_junction:
-            return times.junction_entry + times.junction_exit
-        if is_destination:
-            return times.merge
-        # Pass-through trap: merge + split, plus swaps past any residents.
-        occupants = len(self.chains.get(comp_id, ()))
-        return times.merge + times.split + occupants * times.swap
-
-    def _admissible(self, comp_id: int, alloc: dict[int, int]) -> bool:
-        comp = self.device.component(comp_id)
-        return alloc[comp_id] < comp.capacity
-
-    def _find_path(
-        self, src: int, dst: int, alloc: dict[int, int]
-    ) -> list[int] | None:
-        """Shortest admissible path, unless waiting a pass is cheaper.
-
-        When contention forces a detour much longer than the uncongested
-        route, deferring to a later pass beats convoying through distant
-        junctions — the key to distance-independent cycle times on the
-        grid (Sec. 7.3).
-        """
-        if src == dst:
-            return None
-        path = self._dijkstra(src, alloc, lambda node: node == dst)
-        if path is None:
-            return None
-        free_cost = self._static_distance(src, dst)
-        taken_cost = self._path_cost(path)
-        if taken_cost > self.DETOUR_TOLERANCE * free_cost + 1e-9:
-            return None
-        return path
-
-    DETOUR_TOLERANCE = 1.35
-
-    def _path_cost(self, path: list[int]) -> float:
-        cost = self.times.split
-        for i, node in enumerate(path[1:], start=1):
-            cost += self._node_cost(node, i == len(path) - 1)
-        return cost
-
-    def _static_distance(self, src: int, dst: int) -> float:
-        """Uncongested travel cost on the empty device (cached)."""
-        cache = getattr(self, "_static_dist_cache", None)
-        if cache is None:
-            cache = {}
-            self._static_dist_cache = cache
-        if src not in cache:
-            graph = self.device.graph()
-            dist = {src: self.times.split}
-            heap = [(self.times.split, src)]
-            seen: set[int] = set()
-            while heap:
-                d, node = heapq.heappop(heap)
-                if node in seen:
-                    continue
-                seen.add(node)
-                for nxt in graph.neighbors(node):
-                    if nxt in seen:
-                        continue
-                    comp = self.device.component(nxt)
-                    if comp.is_trap:
-                        step = self.times.merge + self.times.split
-                    elif comp.is_junction:
-                        step = self.times.junction_entry + self.times.junction_exit
-                    else:
-                        step = self.times.shuttle
-                    nd = d + step
-                    if nd < dist.get(nxt, float("inf")):
-                        dist[nxt] = nd
-                        heapq.heappush(heap, (nd, nxt))
-            cache[src] = dist
-        # Destination traps cost a merge only; undo the split added by
-        # the pass-through accounting above.
-        value = cache[src].get(dst, float("inf"))
-        if value != float("inf") and self.device.component(dst).is_trap:
-            value -= self.times.split
-        return value
-
-    def _find_path_to_any(self, src, alloc, accept) -> list[int] | None:
-        return self._dijkstra(src, alloc, accept)
-
-    def _dijkstra(self, src: int, alloc: dict[int, int], accept) -> list[int] | None:
-        graph = self.device.graph()
-        dist = {src: self.times.split}
-        prev: dict[int, int] = {}
-        heap = [(self.times.split, src)]
-        visited: set[int] = set()
-        while heap:
-            d, node = heapq.heappop(heap)
-            if node in visited:
-                continue
-            visited.add(node)
-            comp = self.device.component(node)
-            if node != src and comp.is_trap and accept(node):
-                path = [node]
-                while node != src:
-                    node = prev[node]
-                    path.append(node)
-                path.reverse()
-                return path
-            for nxt in graph.neighbors(node):
-                if nxt in visited or not self._admissible(nxt, alloc):
-                    continue
-                is_dest = self.device.component(nxt).is_trap
-                nd = d + self._node_cost(nxt, is_dest)
-                if nd < dist.get(nxt, float("inf")):
-                    dist[nxt] = nd
-                    prev[nxt] = node
-                    heapq.heappush(heap, (nd, nxt))
-        return None
-
-    # ------------------------------------------------------------------
-    # Movement emission
-    # ------------------------------------------------------------------
-    def _emit_swaps_to_end(self, trap_id: int, ion: int, end: int) -> None:
-        chain = self.chains[trap_id]
-        idx = chain.index(ion)
-        target = 0 if end == 0 else len(chain) - 1
-        step = -1 if target < idx else 1
-        while idx != target:
-            other = chain[idx + step]
-            self._emit("SWAP", (ion, other), (trap_id,), self.times.swap)
-            chain[idx], chain[idx + step] = chain[idx + step], chain[idx]
-            idx += step
-
-    def _emit_hop(self, ion: int, path: list[int]) -> None:
-        """Emit the primitive sequence moving ``ion`` along ``path``.
-
-        ``path`` alternates trap / segment / (junction / segment)* /
-        trap and may pass through intermediate traps (linear devices),
-        which costs a merge, possible swaps, and a split.
-        """
-        device = self.device
-        times = self.times
-        src = path[0]
-        self._emit_swaps_to_end(src, ion, device.port_end(src, path[1]))
-        self.chains[src].remove(ion)
-        self._emit("SPLIT", (ion,), (src, path[1]), times.split)
-
-        i = 1
-        while i < len(path):
-            node = path[i]
-            comp = device.component(node)
-            if comp.is_segment:
-                self._emit("SHUTTLE", (ion,), (node,), times.shuttle)
-                nxt = path[i + 1]
-                nxt_comp = device.component(nxt)
-                if nxt_comp.is_junction:
-                    self._emit(
-                        "JUNCTION_ENTRY", (ion,), (node, nxt), times.junction_entry
-                    )
-                else:
-                    self._emit("MERGE", (ion,), (node, nxt), times.merge)
-                    end = device.port_end(nxt, node)
-                    if end == 0:
-                        self.chains[nxt].insert(0, ion)
-                    else:
-                        self.chains[nxt].append(ion)
-                    self.location[ion] = nxt
-            elif comp.is_junction:
-                nxt = path[i + 1]
-                self._emit("JUNCTION_EXIT", (ion,), (node, nxt), times.junction_exit)
-            else:
-                # Intermediate trap: we just merged in; split out again.
-                if i + 1 < len(path):
-                    out_seg = path[i + 1]
-                    self._emit_swaps_to_end(node, ion, device.port_end(node, out_seg))
-                    self.chains[node].remove(ion)
-                    self._emit("SPLIT", (ion,), (node, out_seg), times.split)
-            i += 1
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
     def run(self) -> list[QccdOp]:
         stall_guard = 0
         while len(self._sequenced) < len(self.gates):
@@ -529,75 +73,14 @@ class Router:
             if progressed == 0:
                 stall_guard += 1
                 if stall_guard > 25 or not self._force_unblock():
-                    raise RoutingError(
-                        f"router deadlocked with {len(self.gates) - len(self._sequenced)}"
-                        f" gates pending on {self.device.topology} device"
-                    )
+                    raise self._deadlock_error()
             else:
                 stall_guard = 0
         # Final cleanup restores the fill invariant unconditionally so
         # the program ends in a legal steady state.
-        self._strict_restore = True
-        try:
-            self._restore_invariants()
-        finally:
-            self._strict_restore = False
+        self._final_restore()
         return self.ops
 
-    def _force_unblock(self) -> bool:
-        """Deadlock breaker for the oldest blocked gate.
 
-        Tries, in order: routing the mover with the detour tolerance
-        lifted; evicting an uninvolved ion from the destination trap;
-        evicting a bystander from the mover's own trap.  All escapes
-        ignore the tolerance — correctness over optimality.
-        """
-        blocked = self._blocked_gates()
-        if not blocked:
-            return False
-        capacity = self.device.trap_capacity
-        for gate in blocked:
-            mover, dest = self._mover_and_destination(gate)
-            alloc = self._occupancy()
-            # (1) Route the mover directly, however congested the path.
-            path = self._dijkstra(
-                self.location[mover], alloc, lambda node: node == dest
-            )
-            if path is not None:
-                self._emit_hop(mover, path)
-                return True
-            # (2) Make room at the destination.
-            if self._evict_one(dest, keep=set(gate.qubits), alloc=alloc):
-                return True
-            # (3) Clear the first over-full trap along the uncongested
-            # route (linear devices: a full trap in the corridor blocks
-            # every path; evicting from the destination cannot help).
-            corridor = self._dijkstra(
-                self.location[mover],
-                {c.id: 0 for c in self.device.components},
-                lambda node: node == dest,
-            )
-            if corridor is not None:
-                for node in corridor[1:-1]:
-                    comp = self.device.component(node)
-                    if comp.is_trap and alloc[node] >= capacity:
-                        if self._evict_one(node, keep=set(), alloc=alloc):
-                            return True
-        return False
-
-    def _evict_one(self, trap_id: int, keep: set[int], alloc: dict[int, int]) -> bool:
-        """Move one bystander ion out of ``trap_id`` to any free slot."""
-        capacity = self.device.trap_capacity
-        for victim in list(self.chains[trap_id]):
-            if victim in keep:
-                continue
-            path = self._find_path_to_any(
-                trap_id,
-                alloc,
-                lambda t: alloc[t] < capacity - 1 and t != trap_id,
-            )
-            if path is not None:
-                self._emit_hop(victim, path)
-                return True
-            return False
-        return False
+# Backwards-compatible name: the pre-strategy monolith was ``Router``.
+Router = GreedyRouter

@@ -1,0 +1,115 @@
+"""The ``parallel`` routing strategy: conflict-graph independent sets.
+
+Enola-style MIS routing: each movement phase plans a candidate shortest
+path for *every* blocked gate against the same base occupancy, builds a
+conflict graph over the candidates (two moves conflict when their paths
+share any hardware component — including endpoints, which is what makes
+component-disjoint moves jointly admissible), and greedily selects a
+maximal independent set, preferring low-conflict movers and breaking
+ties by gate priority.  The selected moves are compatible by
+construction, so the scheduler can overlap the whole batch; conflicting
+movers simply wait for the next phase rather than convoying behind a
+reservation made moments earlier.
+
+Compared with the ``greedy`` strategy — which routes in strict priority
+order and lets early reservations detour or defer later movers — the
+independent-set selection maximises the number of *simultaneous*
+compatible moves per phase.
+
+All pathfinding, emission, invariant restoration and deadlock escapes
+come from the shared substrate
+(:class:`repro.core.routing_base.RoutingStrategy`).
+"""
+
+from __future__ import annotations
+
+from .ir import QccdOp
+from .routing_base import RoutingStrategy, register_router
+
+__all__ = ["ParallelRouter"]
+
+
+@register_router("parallel")
+class ParallelRouter(RoutingStrategy):
+    """Per-phase maximal-independent-set selection of compatible moves."""
+
+    def _candidate_moves(self) -> list[tuple[tuple[int, int, int], int, list[int]]]:
+        """One feasible move per blocked gate's mover.
+
+        Every candidate is planned against the same base occupancy (no
+        accumulated reservations), so selection — not planning order —
+        decides which moves run this phase.
+        """
+        alloc = self._occupancy()
+        candidates = []
+        claimed: set[int] = set()
+        for gate in self._blocked_gates():
+            mover, dest = self._mover_and_destination(gate)
+            if mover in claimed:
+                continue
+            path = self._find_path(self.location[mover], dest, alloc)
+            if path is None:
+                continue
+            claimed.add(mover)
+            candidates.append((gate.priority, mover, path))
+        return candidates
+
+    def _select_independent(self, candidates) -> list[tuple[int, list[int]]]:
+        """Greedy maximal independent set over the path-conflict graph.
+
+        Classic min-degree greedy MIS: repeatedly take the candidate
+        with the fewest remaining conflicts (ties to higher gate
+        priority), then drop its neighbours.  Conflicts are shared
+        components — sources, corridors and destinations alike — so any
+        two selected paths are component-disjoint and the batch is
+        jointly admissible given each path was individually admissible.
+        """
+        n = len(candidates)
+        footprint = [set(path) for _, _, path in candidates]
+        conflicts: list[set[int]] = [set() for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if footprint[i] & footprint[j]:
+                    conflicts[i].add(j)
+                    conflicts[j].add(i)
+        alive = set(range(n))
+        selected: list[tuple[int, list[int]]] = []
+        while alive:
+            best = min(alive, key=lambda i: (len(conflicts[i] & alive), candidates[i][0]))
+            _, mover, path = candidates[best]
+            selected.append((mover, path))
+            alive.discard(best)
+            alive -= conflicts[best]
+        return selected
+
+    def _movement_phase(self) -> int:
+        candidates = self._candidate_moves()
+        if not candidates:
+            return 0
+        selected = self._select_independent(candidates)
+        for mover, path in selected:
+            self._emit_hop(mover, path)
+        return len(selected)
+
+    def run(self) -> list[QccdOp]:
+        stall_guard = 0
+        while len(self._sequenced) < len(self.gates):
+            progressed = 0
+            progressed += self._sequence_local_gates()
+            progressed += self._movement_phase()
+            progressed += self._sequence_local_gates()
+            progressed += self._restore_invariants()
+            if progressed == 0:
+                # Same stall ladder as the layered router: drain full
+                # traps past the routine restoration bound before
+                # force-unblocking (independent-set selection can defer
+                # a region long enough for it to congest solid).
+                progressed += self._drain_overfull()
+            if progressed == 0:
+                stall_guard += 1
+                if stall_guard > 25 or not self._force_unblock():
+                    raise self._deadlock_error()
+            else:
+                stall_guard = 0
+        self._final_restore()
+        return self.ops

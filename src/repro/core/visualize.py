@@ -11,6 +11,16 @@ from __future__ import annotations
 from .ir import CompiledProgram, QccdOp
 
 
+def _strategy_tag(program: CompiledProgram) -> str:
+    """Header suffix naming the strategies that produced a program.
+
+    Routing traces from different strategies are otherwise
+    indistinguishable once rendered — the tag makes side-by-side
+    comparisons self-describing.
+    """
+    return f" [router={program.router} placer={program.placer}]"
+
+
 def format_ion_timeline(
     program: CompiledProgram, ion: int, limit: int = 50
 ) -> str:
@@ -18,7 +28,7 @@ def format_ion_timeline(
     events = [
         op for op in program.ops_in_time_order() if ion in op.ions
     ]
-    lines = [f"ion {ion}: {len(events)} operations"]
+    lines = [f"ion {ion}: {len(events)} operations{_strategy_tag(program)}"]
     for op in events[:limit]:
         start = program.start[op.id]
         comps = ",".join(str(c) for c in op.components)
@@ -41,7 +51,10 @@ def format_component_timeline(
         for op in program.ops_in_time_order()
         if component in op.components
     ]
-    lines = [f"component {component}: {len(events)} operations"]
+    lines = [
+        f"component {component}: {len(events)} operations"
+        f"{_strategy_tag(program)}"
+    ]
     for op in events[:limit]:
         start = program.start[op.id]
         ions = ",".join(str(q) for q in op.ions)
@@ -108,7 +121,10 @@ def schedule_gantt(
     if t1 <= t0:
         raise ValueError("need t1 > t0")
     bucket = (t1 - t0) / width
-    lines = [f"time {t0:.0f}..{t1:.0f}us, one column = {bucket:.1f}us"]
+    lines = [
+        f"time {t0:.0f}..{t1:.0f}us, one column = {bucket:.1f}us"
+        f"{_strategy_tag(program)}"
+    ]
     for comp in components:
         row = ["."] * width
         for op in program.ops:

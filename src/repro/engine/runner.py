@@ -77,8 +77,10 @@ DEFAULT_SHARD_SHOTS = 2048
 # Canonical phase ordering for display and worker-lane trace synthesis:
 # the pipeline order, then anything novel alphabetically after.
 PHASE_ORDER = (
-    "compile", "dem", "dijkstra", "sample", "sample.draw", "sample.place",
-    "sample.xor", "unique", "memo", "decode", "scatter", "other",
+    "compile", "compile.translate", "compile.place", "compile.route",
+    "compile.schedule", "dem", "dijkstra", "sample", "sample.draw",
+    "sample.place", "sample.xor", "unique", "memo", "decode", "scatter",
+    "other",
 )
 
 
@@ -914,6 +916,8 @@ def compile_design_point(
         wiring=wiring_method,
         rounds=job.rounds,
         basis=job.basis,
+        router=job.router,
+        placer=job.placer,
     )
     compiler = QccdCompiler(config)
     program = compiler.compile()
@@ -925,6 +929,8 @@ def compile_design_point(
         "capacity": job.capacity,
         "topology": job.topology,
         "wiring": wiring_method.name,
+        "router": job.router,
+        "placer": job.placer,
         "gate_improvement": job.gate_improvement,
         "rounds": job.rounds,
         "round_time_us": program.stats.round_time_us,
@@ -1099,7 +1105,10 @@ class Runner:
         phases = dict(self._phase_totals)
         if self.telemetry.enabled:
             driver_side = self.telemetry.phase_totals()
-            for name in ("compile", "dem", "dijkstra"):
+            for name in (
+                "compile", "compile.translate", "compile.place",
+                "compile.route", "compile.schedule", "dem", "dijkstra",
+            ):
                 if driver_side.get(name, 0.0) > 0.0:
                     phases[name] = phases.get(name, 0.0) + driver_side[name]
         return phases

@@ -64,6 +64,15 @@ class SweepJob:
     # unaffected, and excluded from the key hash when unset so every
     # pre-existing job key carries over bit-identically.
     target_rel_stderr: float | None = None
+    # Compilation strategy axes (see repro.core.routing_base and
+    # repro.core.place): the routing and placement strategies used to
+    # compile this design point.  Appended with the pre-strategy
+    # defaults and excluded from the key hash when default-valued, so
+    # every job key from before the strategy layer — and with it every
+    # stored result and shard RNG stream — carries over bit-identically
+    # (the ``sampler`` pattern above).
+    router: str = "greedy"
+    placer: str = "projection"
 
     @property
     def adaptive(self) -> bool:
@@ -93,6 +102,8 @@ class SweepJob:
             self.gate_improvement,
             self.rounds,
             self.basis,
+            self.router,
+            self.placer,
         )
 
     @property
@@ -112,6 +123,10 @@ class SweepJob:
             del content["target_rel_stderr"]
         if self.sampler == "frame":
             del content["sampler"]
+        if self.router == "greedy":
+            del content["router"]
+        if self.placer == "projection":
+            del content["placer"]
         payload = json.dumps(content, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(payload.encode()).hexdigest()[:12]
         budget = f"n{self.shots}"
@@ -122,9 +137,16 @@ class SweepJob:
             if self.target_rel_stderr is not None:
                 goals.append(f"rse{self.target_rel_stderr:g}")
             budget = f"n{self.shots}-{'-'.join(goals)}of{self.max_shots}"
+        # Non-default strategies surface in the label (default-strategy
+        # labels — like their hashes — are byte-for-byte pre-strategy).
+        strategy = ""
+        if self.router != "greedy":
+            strategy += f"-{self.router}"
+        if self.placer != "projection":
+            strategy += f"-{self.placer}"
         return (
             f"{self.code}-d{self.distance}-c{self.capacity}-{self.topology}"
-            f"-{self.wiring}-x{self.gate_improvement:g}-{self.decoder}"
+            f"-{self.wiring}{strategy}-x{self.gate_improvement:g}-{self.decoder}"
             f"-r{self.rounds}-{budget}-{digest}"
         )
 
@@ -138,6 +160,10 @@ class SweepJob:
         # sampler field; those experiments were frame-sampled.
         data = dict(data)
         data.setdefault("sampler", "frame")
+        # Stores written before the strategy layer compiled with the
+        # only strategies that existed.
+        data.setdefault("router", "greedy")
+        data.setdefault("placer", "projection")
         return cls(**{k: v for k, v in data.items() if k in names})
 
 
@@ -179,10 +205,14 @@ class SweepSpec:
     # relative standard error of its per-shot LER estimate falls below
     # this bound (e.g. 0.1 for ~10% error bars).
     target_rel_stderr: float | None = None
+    # Compilation strategy axes: routing and placement strategies to
+    # grid over (names resolved against the repro.core registries).
+    routers: tuple[str, ...] = ("greedy",)
+    placers: tuple[str, ...] = ("projection",)
 
     def __post_init__(self):
         for name in ("distances", "capacities", "topologies", "wirings",
-                     "gate_improvements", "decoders"):
+                     "gate_improvements", "decoders", "routers", "placers"):
             value = tuple(getattr(self, name))
             if not value:
                 raise ValueError(f"{name} must be non-empty")
@@ -204,6 +234,21 @@ class SweepSpec:
         if self.sampler not in _SAMPLERS:
             raise ValueError(
                 f"unknown sampler {self.sampler!r}; expected one of {_SAMPLERS}")
+        # Strategy names validate against the live registries (local
+        # import: the spec layer stays cheap to import, and strategies
+        # registered by user code are honoured).
+        from ..core import available_placers, available_routers
+
+        for router in self.routers:
+            if router not in available_routers():
+                raise ValueError(
+                    f"unknown router {router!r}; expected one of "
+                    f"{available_routers()}")
+        for placer in self.placers:
+            if placer not in available_placers():
+                raise ValueError(
+                    f"unknown placer {placer!r}; expected one of "
+                    f"{available_placers()}")
         if any(d < 2 for d in self.distances):
             raise ValueError("distances must be >= 2")
         if any(c < 1 for c in self.capacities):
@@ -238,7 +283,8 @@ class SweepSpec:
     def num_jobs(self) -> int:
         return (
             len(self.distances) * len(self.capacities) * len(self.topologies)
-            * len(self.wirings) * len(self.gate_improvements) * len(self.decoders)
+            * len(self.wirings) * len(self.routers) * len(self.placers)
+            * len(self.gate_improvements) * len(self.decoders)
         )
 
     def expand(self) -> list[SweepJob]:
@@ -248,22 +294,26 @@ class SweepSpec:
             for cap in self.capacities:
                 for topo in self.topologies:
                     for wiring in self.wirings:
-                        for improvement in self.gate_improvements:
-                            for decoder in self.decoders:
-                                jobs.append(SweepJob(
-                                    code=self.code,
-                                    distance=d,
-                                    capacity=cap,
-                                    topology=topo,
-                                    wiring=wiring,
-                                    gate_improvement=improvement,
-                                    decoder=decoder,
-                                    rounds=self.rounds if self.rounds is not None else d,
-                                    shots=self.shots,
-                                    basis=self.basis,
-                                    target_failures=self.target_failures,
-                                    max_shots=self.max_shots,
-                                    sampler=self.sampler,
-                                    target_rel_stderr=self.target_rel_stderr,
-                                ))
+                        for router in self.routers:
+                            for placer in self.placers:
+                                for improvement in self.gate_improvements:
+                                    for decoder in self.decoders:
+                                        jobs.append(SweepJob(
+                                            code=self.code,
+                                            distance=d,
+                                            capacity=cap,
+                                            topology=topo,
+                                            wiring=wiring,
+                                            gate_improvement=improvement,
+                                            decoder=decoder,
+                                            rounds=self.rounds if self.rounds is not None else d,
+                                            shots=self.shots,
+                                            basis=self.basis,
+                                            target_failures=self.target_failures,
+                                            max_shots=self.max_shots,
+                                            sampler=self.sampler,
+                                            target_rel_stderr=self.target_rel_stderr,
+                                            router=router,
+                                            placer=placer,
+                                        ))
         return jobs

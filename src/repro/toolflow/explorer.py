@@ -54,6 +54,8 @@ class DesignSpaceExplorer:
         shots: int = 0,
         decoder: str = "mwpm",
         basis: str = "Z",
+        router: str = "greedy",
+        placer: str = "projection",
     ) -> EvaluationRecord:
         """Run one design point through the Figure-2 pipeline."""
         wiring_method = (
@@ -71,6 +73,8 @@ class DesignSpaceExplorer:
             rounds=rounds,
             shots=shots,
             basis=basis,
+            router=router,
+            placer=placer,
         )
         artifacts = compile_design_point(
             job, self.noise, need_circuit=shots > 0, wiring_method=wiring_method

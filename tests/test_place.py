@@ -126,6 +126,25 @@ class TestPlacement:
         with pytest.raises(ValueError):
             place(RepetitionCode(2), 1, "linear")
 
+    def test_undersized_device_rejected_with_clear_context(self):
+        """Too few traps must fail up front with the code size and trap
+        capacity in the message, not deep inside the assignment solver."""
+        from repro.arch.topologies import linear_device
+
+        code = RotatedSurfaceCode(3)  # 25 qubits -> 25 clusters at cap 2
+        small = linear_device(4, 2)
+        with pytest.raises(ValueError) as excinfo:
+            place(code, 2, "linear", device=small)
+        message = str(excinfo.value)
+        assert f"{code.num_qubits} qubits" in message
+        assert "capacity 2" in message
+        assert "4-trap" in message
+        assert code.name in message
+
+    def test_unknown_placer_rejected(self):
+        with pytest.raises(ValueError, match="unknown placer"):
+            place(RotatedSurfaceCode(3), 2, "grid", placer="bogus")
+
     def test_grid_cap2_preserves_adjacency(self):
         """Neighbouring code qubits land on neighbouring traps."""
         code = RotatedSurfaceCode(3)

@@ -151,3 +151,25 @@ class TestOccupancy:
 class TestDeadlockReporting:
     def test_error_type(self):
         assert issubclass(RoutingError, RuntimeError)
+
+    def test_deadlock_error_names_blocked_gates_and_occupancy(self):
+        """A routing deadlock must be diagnosable from the message alone:
+        the blocked gate ids/operands and the trap occupancy appear."""
+        router = _router(RotatedSurfaceCode(2), 2, "grid")
+        # Make every path search fail: all movement, restoration and
+        # forced-unblock attempts come up empty, so the run loop's
+        # stall guard trips.
+        router._dijkstra = lambda *a, **k: None
+        with pytest.raises(RoutingError) as excinfo:
+            router.run()
+        message = str(excinfo.value)
+        blocked = router._blocked_gates()
+        assert blocked, "the stalled router should still report blocked gates"
+        for gate in blocked[:8]:
+            assert f"#{gate.id} {gate.kind}" in message
+        assert "trap occupancy" in message
+        assert f"capacity {router.device.trap_capacity}" in message
+        # The occupancy map itself (trap -> residents) is in the text.
+        occupied = [t for t, c in sorted(router.chains.items()) if c]
+        assert f"{occupied[0]}: {len(router.chains[occupied[0]])}" in message
+        assert router.name in message

@@ -1,0 +1,287 @@
+"""Strategy-layer tests: registries, bit-identity, shared invariants.
+
+Three layers of guarantees:
+
+1. **Bit-identity** — the default ``greedy`` router / ``projection``
+   placer must reproduce the pre-strategy-layer compiler exactly.  The
+   golden constants below (makespan, op counts, op-stream hash, stim
+   circuit hash, SweepJob keys) were captured from the monolithic
+   ``Router`` / ``place()`` immediately before the refactor; nothing
+   about the strategy layer may move them.
+2. **Registries** — strategies resolve by name everywhere a name can be
+   given (compiler config, sweep spec, CLI), and unknown names fail
+   with the available set in the message.
+3. **Shared invariants** — every registered router x placer combination
+   must produce physically legal programs: hardware constraints hold
+   under op-by-op replay, every two-qubit gate executes co-located,
+   every gate is sequenced exactly once, the final state restores the
+   fill invariant, and the derived schedule respects op dependencies
+   (checked both on a fixed grid and property-based).
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import DEFAULT_TIMES
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.core import (
+    CompilerConfig,
+    GreedyRouter,
+    ProjectionPlacer,
+    QccdCompiler,
+    Router,
+    WindowPlacer,
+    available_placers,
+    available_routers,
+    build_gate_dag,
+    compile_memory_experiment,
+    place,
+    placer_by_name,
+    program_to_circuit,
+    router_by_name,
+    schedule,
+)
+from repro.engine.sweep import SweepJob
+from repro.noise.parameters import DEFAULT_NOISE
+
+from test_route import _replay_occupancy
+
+# ----------------------------------------------------------------------
+# Golden oracle: captured from the pre-refactor monolith (RotatedSurface,
+# capacity 2, rounds 2, default wiring/noise).
+# ----------------------------------------------------------------------
+GOLDEN_COMPILER = {
+    # (topology, distance): (makespan_us, num_ops, movement_ops,
+    #                        ops_sha, stim_sha)
+    ("grid", 2): (6815.0, 208, 168, "c27bca57f7b412c6", "3c7a339db5b2ba3d"),
+    ("grid", 3): (10845.0, 686, 572, "e843a855b7d448a3", "10091118d35b9b9e"),
+    ("linear", 2): (9665.0, 208, 168, "03f74cd82e199c22", "75435137694d66fd"),
+    ("linear", 3): (38690.0, 1147, 1033, "679a47a8ae22b608", "42c34a90c727f1e5"),
+    ("switch", 2): (6270.0, 190, 150, "a2c51671c11ae9ac", "83e603d7cd4360a0"),
+    ("switch", 3): (7425.0, 594, 480, "1013cb42ab567e6e", "dc6987f61177b1da"),
+}
+
+GOLDEN_KEYS = [
+    (
+        SweepJob("rotated_surface", 3, 2, "grid", "standard", 1.0, "mwpm",
+                 3, 2000),
+        "rotated_surface-d3-c2-grid-standard-x1-mwpm-r3-n2000-8318537a3656",
+    ),
+    (
+        SweepJob("rotated_surface", 5, 2, "linear", "wise", 5.0, "union_find",
+                 5, 1000, sampler="frame"),
+        "rotated_surface-d5-c2-linear-wise-x5-union_find-r5-n1000-2238d6bc3eba",
+    ),
+    (
+        SweepJob("repetition", 3, 2, "switch", "standard", 1.0, "mwpm",
+                 2, 512, target_failures=10, max_shots=5000),
+        "repetition-d3-c2-switch-standard-x1-mwpm-r2-n512-f10of5000-c6e57650aa5a",
+    ),
+]
+
+
+def _ops_sha(program) -> str:
+    return hashlib.sha256(
+        "|".join(
+            f"{op.kind}:{op.ions}:{op.components}:{op.duration:.6f}:{op.deps}"
+            for op in program.ops
+        ).encode()
+    ).hexdigest()[:16]
+
+
+def _stim_sha(program, code) -> str:
+    export = program_to_circuit(program, code, DEFAULT_NOISE)
+    return hashlib.sha256(str(export.circuit).encode()).hexdigest()[:16]
+
+
+class TestDefaultBitIdentity:
+    @pytest.mark.parametrize(
+        "topology,distance", sorted(GOLDEN_COMPILER), ids=lambda v: str(v)
+    )
+    def test_greedy_projection_matches_pre_refactor(self, topology, distance):
+        """ops, makespan and stim export are bit-identical to the
+        monolithic pre-strategy compiler across the fig08 grid."""
+        code = RotatedSurfaceCode(distance)
+        program = compile_memory_experiment(code, 2, topology, rounds=2)
+        makespan, num_ops, movement, ops_sha, stim_sha = GOLDEN_COMPILER[
+            (topology, distance)
+        ]
+        assert program.stats.makespan_us == makespan
+        assert len(program.ops) == num_ops
+        assert program.stats.movement_ops == movement
+        assert _ops_sha(program) == ops_sha
+        assert _stim_sha(program, code) == stim_sha
+
+    def test_default_config_uses_default_strategies(self):
+        cfg = CompilerConfig(code=RotatedSurfaceCode(2))
+        assert cfg.router == "greedy" and cfg.placer == "projection"
+        program = QccdCompiler(cfg).compile()
+        assert program.router == "greedy" and program.placer == "projection"
+
+    @pytest.mark.parametrize("job,key", GOLDEN_KEYS, ids=lambda v: str(v)[:40])
+    def test_sweep_job_keys_unchanged(self, job, key):
+        """Default-strategy job keys (and so JSONL stores and shard RNG
+        streams) carry over bit-identically from before the refactor."""
+        assert job.key == key
+
+    def test_non_default_strategies_change_the_key(self):
+        base, key = GOLDEN_KEYS[0]
+        routed = SweepJob(**{**base.to_dict(), "router": "layered"})
+        placed = SweepJob(**{**base.to_dict(), "placer": "window"})
+        assert routed.key != key and "layered" in routed.key
+        assert placed.key != key and "window" in placed.key
+
+    def test_from_dict_defaults_old_stores_to_pre_refactor_strategies(self):
+        base, _ = GOLDEN_KEYS[0]
+        data = base.to_dict()
+        del data["router"], data["placer"]
+        job = SweepJob.from_dict(data)
+        assert job.router == "greedy" and job.placer == "projection"
+        assert job.key == GOLDEN_KEYS[0][1]
+
+
+class TestRegistries:
+    def test_expected_strategies_registered(self):
+        assert {"greedy", "layered", "parallel"} <= set(available_routers())
+        assert {"projection", "window"} <= set(available_placers())
+
+    def test_lookup_by_name(self):
+        assert router_by_name("greedy") is GreedyRouter
+        assert placer_by_name("projection") is ProjectionPlacer
+        assert placer_by_name("window") is WindowPlacer
+        for name in available_routers():
+            assert router_by_name(name).name == name
+        for name in available_placers():
+            assert placer_by_name(name).name == name
+
+    def test_unknown_names_list_available(self):
+        with pytest.raises(ValueError, match="greedy"):
+            router_by_name("bogus")
+        with pytest.raises(ValueError, match="projection"):
+            placer_by_name("bogus")
+
+    def test_router_alias_is_greedy(self):
+        assert Router is GreedyRouter
+
+
+# ----------------------------------------------------------------------
+# Shared invariant harness: every strategy combination must produce a
+# physically legal program.
+# ----------------------------------------------------------------------
+INVARIANT_CONFIGS = [
+    (RotatedSurfaceCode(2), 2, "grid"),
+    (RotatedSurfaceCode(3), 2, "grid"),
+    (RotatedSurfaceCode(3), 2, "linear"),
+    (RotatedSurfaceCode(3), 2, "switch"),
+    (RotatedSurfaceCode(3), 3, "grid"),
+    (RepetitionCode(4), 3, "linear"),
+]
+
+ALL_STRATEGIES = [
+    (router, placer)
+    for router in ("greedy", "layered", "parallel")
+    for placer in ("projection", "window")
+]
+
+
+def _compile_with(code, cap, topo, router, placer, rounds=2):
+    cfg = CompilerConfig(
+        code=code, trap_capacity=cap, topology=topo, rounds=rounds,
+        router=router, placer=placer,
+    )
+    compiler = QccdCompiler(cfg)
+    return compiler.compile(), compiler.placement()
+
+
+def _assert_program_invariants(program, placement, gates):
+    # Hardware legality + two-qubit co-location, op by op.
+    _replay_occupancy(program.ops, placement)
+    # Every gate sequenced exactly once.
+    sequenced = sorted(
+        op.gate_id for op in program.ops if op.gate_id is not None
+    )
+    assert sequenced == [g.id for g in gates]
+    # The schedule respects the op dependency DAG.
+    start = program.start
+    for op in program.ops:
+        for dep in op.deps:
+            dep_end = start[dep] + program.ops[dep].duration
+            assert start[op.id] >= dep_end - 1e-9, (op.id, dep)
+
+
+@pytest.mark.parametrize("router,placer", ALL_STRATEGIES, ids=lambda v: str(v))
+@pytest.mark.parametrize(
+    "code,cap,topo", INVARIANT_CONFIGS, ids=lambda v: str(v)
+)
+def test_all_strategies_satisfy_shared_invariants(code, cap, topo, router, placer):
+    program, placement = _compile_with(code, cap, topo, router, placer)
+    gates = build_gate_dag(code, 2)
+    _assert_program_invariants(program, placement, gates)
+    assert program.router == router and program.placer == placer
+
+
+@pytest.mark.parametrize("router,placer", ALL_STRATEGIES, ids=lambda v: str(v))
+def test_final_state_restores_fill_invariant(router, placer):
+    code = RotatedSurfaceCode(3)
+    gates = build_gate_dag(code, 2)
+    placement = place(code, 2, "grid", placer=placer)
+    strategy = router_by_name(router)(code, placement, gates, DEFAULT_TIMES)
+    strategy.run()
+    for trap, chain in strategy.chains.items():
+        assert len(chain) <= 1  # capacity 2 -> at most one resident
+    for q, loc in strategy.location.items():
+        assert placement.device.component(loc).is_trap
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    distance=st.integers(min_value=2, max_value=3),
+    capacity=st.integers(min_value=2, max_value=4),
+    topology=st.sampled_from(["grid", "linear", "switch"]),
+    router=st.sampled_from(["greedy", "layered", "parallel"]),
+    placer=st.sampled_from(["projection", "window"]),
+)
+def test_property_invariants_hold_for_any_strategy(
+    distance, capacity, topology, router, placer
+):
+    """Property harness: any registered strategy combination, on any
+    small design point, yields a legal, complete, dependency-respecting
+    program."""
+    code = RotatedSurfaceCode(distance)
+    program, placement = _compile_with(
+        code, capacity, topology, router, placer, rounds=1
+    )
+    gates = build_gate_dag(code, 1)
+    _assert_program_invariants(program, placement, gates)
+
+
+class TestEngineThreading:
+    def test_compile_design_point_carries_strategies(self):
+        from repro.engine.runner import compile_design_point
+
+        job = SweepJob(
+            "rotated_surface", 2, 2, "grid", "standard", 1.0, "mwpm", 1, 0,
+            router="parallel", placer="window",
+        )
+        artifacts = compile_design_point(job, DEFAULT_NOISE, need_circuit=False)
+        assert artifacts.metrics["router"] == "parallel"
+        assert artifacts.metrics["placer"] == "window"
+
+    def test_strategies_produce_distinct_circuits_when_routing_differs(self):
+        """The compilation cache needs no strategy field in its key:
+        different routing shows up as different circuit text."""
+        code = RotatedSurfaceCode(3)
+        base = compile_memory_experiment(code, 2, "switch", rounds=2)
+        alt = compile_memory_experiment(
+            code, 2, "switch", rounds=2, router="layered"
+        )
+        assert _ops_sha(base) != _ops_sha(alt)
+        assert _stim_sha(base, code) != _stim_sha(alt, code)
+
+    def test_schedule_recomputable_from_ops(self):
+        cfg = CompilerConfig(code=RotatedSurfaceCode(2), router="layered")
+        program = QccdCompiler(cfg).compile()
+        assert schedule(program.ops, cfg.wiring) == program.start
