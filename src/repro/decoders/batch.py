@@ -40,6 +40,8 @@ else inherits the unpack-distinct-rows adapter for free.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from ..sim.dem_sampler import pack_bool_rows, unpack_bool_rows
@@ -52,30 +54,126 @@ from ..telemetry import span
 DEFAULT_MEMO_LIMIT = 1 << 18
 
 
+def memo_owner(key: bytes, slots: int) -> int:
+    """Which pool slot owns a packed-syndrome key.
+
+    CRC32 rather than ``hash()``: ownership must agree across worker
+    processes and hosts, and python's string hashing is salted per
+    process.
+    """
+    return zlib.crc32(key) % slots
+
+
 class SyndromeMemo:
-    """Bounded ``packed syndrome -> correction mask`` memo with stats."""
+    """Bounded ``packed syndrome -> correction mask`` memo with stats.
+
+    With cross-worker sharing enabled (:meth:`enable_sharing`) the memo
+    becomes one segment of a pool-wide table sharded by syndrome hash:
+    locally-decoded entries this slot *owns* queue in an outbox for the
+    driver to redistribute, and entries learned from peers arrive via
+    :meth:`absorb`.  ``shared_hits`` counts hits served by absorbed
+    entries — the observable cross-worker half of the dedupe rate.
+    """
 
     def __init__(self, limit: int = DEFAULT_MEMO_LIMIT):
         self.limit = limit
         self.table: dict[bytes, int] = {}
         self.hits = 0
         self.misses = 0
+        self.shared_hits = 0
+        # (slot, slots) when this memo is a shard of a pool-wide table.
+        self._share: tuple[int, int] | None = None
+        self._outbox: list[tuple[bytes, int]] = []
+        # Keys that arrived from peers (absorb) rather than local decode.
+        self.remote_keys: set[bytes] = set()
 
     def __len__(self) -> int:
         return len(self.table)
 
-    def snapshot(self) -> tuple[int, int, int]:
-        """``(hits, misses, entries)`` — diffable around a shard so the
-        engine can attribute memo traffic to individual shards."""
-        return (self.hits, self.misses, len(self.table))
+    # -- cross-worker sharing ------------------------------------------
+    def enable_sharing(self, slot: int, slots: int) -> None:
+        if slots < 1 or not 0 <= slot < slots:
+            raise ValueError(f"bad memo share slot {slot}/{slots}")
+        self._share = (int(slot), int(slots))
+
+    def disable_sharing(self) -> None:
+        self._share = None
+        self._outbox = []
+
+    @property
+    def sharing(self) -> bool:
+        return self._share is not None
+
+    def insert(self, key: bytes, mask: int) -> bool:
+        """Record one locally-decoded syndrome; ``False`` once full.
+
+        Owned entries (hash-sharded to this slot) also queue in the
+        outbox so the pool driver can redistribute them.
+        """
+        if len(self.table) >= self.limit:
+            return False
+        self.table[key] = mask
+        share = self._share
+        if share is not None and memo_owner(key, share[1]) == share[0]:
+            self._outbox.append((key, mask))
+        return True
+
+    def drain_outbox(self) -> list[tuple[bytes, int]]:
+        """Owned entries inserted since the last drain (and clear)."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    def absorb(self, entries) -> int:
+        """Merge peer-decoded entries; returns how many were new.
+
+        Absorbed entries never re-enter the outbox (the driver already
+        has them) and count as neither hits nor misses — only later
+        lookups that land on them bump ``shared_hits``.
+        """
+        table = self.table
+        added = 0
+        for key, mask in entries:
+            if key not in table and len(table) < self.limit:
+                table[key] = mask
+                self.remote_keys.add(key)
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple[int, int, int, int]:
+        """``(hits, misses, entries, shared_hits)`` — diffable around a
+        shard so the engine can attribute memo traffic to individual
+        shards."""
+        return (self.hits, self.misses, len(self.table), self.shared_hits)
 
     def stats(self) -> dict:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "shared_hits": self.shared_hits,
             "entries": len(self.table),
             "limit": self.limit,
         }
+
+
+def unique_packed_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``np.unique(words, axis=0, return_inverse=True)``, faster.
+
+    Views each contiguous packed row as one opaque void scalar so the
+    unique sort is a single-key memcmp instead of ``axis=0``'s
+    per-column lexsort.  The distinct *set* and the inverse mapping are
+    exactly equivalent; only the order of the returned rows differs
+    (byte order vs column-value order), which nothing downstream
+    depends on — corrections are scattered per row via ``inverse``.
+    """
+    rows, ncols = words.shape
+    if ncols == 0:
+        # No detectors: every row is the same empty syndrome.
+        return words[:1], np.zeros(rows, dtype=np.intp)
+    view = words.view(np.dtype((np.void, words.dtype.itemsize * ncols)))
+    uniq_view, inverse = np.unique(view.ravel(), return_inverse=True)
+    uniq = uniq_view.view(words.dtype).reshape(-1, ncols)
+    return uniq, inverse
 
 
 def decode_packed_dedup(
@@ -93,17 +191,22 @@ def decode_packed_dedup(
     """
     words = np.atleast_2d(np.ascontiguousarray(det_words, dtype=np.uint64))
     with span("unique"):
-        uniq, inverse = np.unique(words, axis=0, return_inverse=True)
+        uniq, inverse = unique_packed_rows(words)
     corrections = np.empty(len(uniq), dtype=np.int64)
     with span("memo"):
         if memo is None:
             missing = list(range(len(uniq)))
         else:
             missing = []
+            table = memo.table
+            remote = memo.remote_keys
             for row in range(len(uniq)):
-                cached = memo.table.get(uniq[row].tobytes())
+                key = uniq[row].tobytes()
+                cached = table.get(key)
                 if cached is not None:
                     memo.hits += 1
+                    if remote and key in remote:
+                        memo.shared_hits += 1
                     corrections[row] = cached
                 else:
                     memo.misses += 1
@@ -122,9 +225,8 @@ def decode_packed_dedup(
         corrections[miss_rows] = decoded
         if memo is not None:
             for row, mask in zip(missing, decoded.tolist()):
-                if len(memo.table) >= memo.limit:
+                if not memo.insert(uniq[row].tobytes(), mask):
                     break
-                memo.table[uniq[row].tobytes()] = mask
     with span("scatter"):
         return corrections[inverse.reshape(-1)]
 

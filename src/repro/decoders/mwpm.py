@@ -33,6 +33,8 @@ from __future__ import annotations
 import numpy as np
 import networkx as nx
 
+from ..sim.dem_sampler import unpack_bool_rows
+from . import native
 from .batch import BatchDecoderMixin
 from .graph import DetectorGraph
 
@@ -46,6 +48,12 @@ _DP_MAX_CLUSTER = 10
 # repeat, so this is the decoder's highest-leverage cache.
 _CLUSTER_MEMO_LIMIT = 1 << 18
 
+# Past this many detectors the dense (n, n) pair-mask cache behind the
+# batched 2-defect fast path would cost tens of MB; larger graphs fall
+# back to the dict-memoised per-pair walk (still correct, just scalar
+# mask gathers).
+_PAIR_DENSE_LIMIT = 2048
+
 
 class MwpmDecoder(BatchDecoderMixin):
     """Decode detector samples by minimum-weight perfect matching."""
@@ -56,6 +64,267 @@ class MwpmDecoder(BatchDecoderMixin):
         self._dist, _ = graph.shortest_paths()
         # cluster node tuple -> correction mask of its optimal matching
         self._cluster_masks: dict[tuple[int, ...], int] = {}
+        # Vectorised fast-path caches, built lazily on the first batched
+        # decode: per-detector boundary masks/finiteness and a dense
+        # lazily-filled (u, v) pair-mask matrix for the 2-defect path.
+        self._bmasks: np.ndarray | None = None
+        self._bfinite: np.ndarray | None = None
+        self._pair_mask: np.ndarray | None = None
+        self._pair_known: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def decode_unique_words(self, det_words: np.ndarray) -> np.ndarray:
+        """Vectorised batched decode of ``(k, words)`` distinct packed
+        syndromes — bit-identical to mapping scalar :meth:`decode`.
+
+        The scalar path spends its time in per-row python overhead:
+        useful-edge pruning, component labelling and mask lookups for
+        one syndrome at a time.  This kernel runs the whole pipeline
+        over every distinct row at once:
+
+        1. extract all defects with one ``np.nonzero``, gather every
+           boundary distance in one fancy index;
+        2. enumerate intra-row defect pairs grouped by defect count
+           (one ``triu_indices`` expansion per distinct count) and test
+           usefulness — ``d(a,b) < d(a,B) + d(b,B)`` — for all pairs in
+           one comparison;
+        3. label connected components of the useful-edge graph with a
+           union-find over the global defect array (edges never cross
+           rows, so all rows share one pass);
+        4. resolve **singleton** components with a boundary-mask gather
+           and **2-node** components with a pair-mask gather (a useful
+           edge always pairs), XOR-scattered into their rows;
+        5. solve the rare **3+-node** components through the same
+           memoised cluster machinery (:meth:`_solve_cluster`) the
+           scalar path uses — node tuples are ascending, matching the
+           canonical ``_components`` order, so both paths share the
+           cluster-mask memo and break weight ties identically.
+        """
+        words = np.atleast_2d(np.ascontiguousarray(det_words, dtype=np.uint64))
+        rows = unpack_bool_rows(words, self.num_detectors)
+        out = np.zeros(words.shape[0], dtype=np.int64)
+        ridx, cols = np.nonzero(rows)
+        if cols.size == 0:
+            return out
+        counts = np.bincount(ridx, minlength=words.shape[0])
+        dist = self._dist
+        boundary = self.graph.boundary
+        db = dist[cols, boundary]
+        # Intra-row defect pairs, built per distinct defect count so the
+        # local (i, j) triangle expands to global indices in one shot.
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        pa_parts: list[np.ndarray] = []
+        pb_parts: list[np.ndarray] = []
+        for k in np.unique(counts):
+            if k < 2:
+                continue
+            base = offsets[np.flatnonzero(counts == k)][:, None]
+            iu, ju = np.triu_indices(int(k), 1)
+            pa_parts.append((base + iu[None, :]).ravel())
+            pb_parts.append((base + ju[None, :]).ravel())
+        edges_a = edges_b = None
+        if pa_parts:
+            pa = np.concatenate(pa_parts)
+            pb = np.concatenate(pb_parts)
+            useful = dist[cols[pa], cols[pb]] < db[pa] + db[pb] - 1e-12
+            edges_a, edges_b = pa[useful], pb[useful]
+        # Union-find over defects; union-by-min keeps each root the
+        # smallest member, so stable sorts below recover components in
+        # ascending defect order — the canonical cluster order.
+        parent = list(range(cols.size))
+        if edges_a is not None and edges_a.size:
+            for a, b in zip(edges_a.tolist(), edges_b.tolist()):
+                while parent[a] != a:
+                    parent[a] = parent[parent[a]]
+                    a = parent[a]
+                while parent[b] != b:
+                    parent[b] = parent[parent[b]]
+                    b = parent[b]
+                if a != b:
+                    if a < b:
+                        parent[b] = a
+                    else:
+                        parent[a] = b
+        roots = np.asarray(parent, dtype=np.intp)
+        while True:
+            nxt = roots[roots]
+            if np.array_equal(nxt, roots):
+                break
+            roots = nxt
+        _, comp_of, comp_sizes = np.unique(
+            roots, return_inverse=True, return_counts=True
+        )
+        size_at = comp_sizes[comp_of]
+        singles = np.flatnonzero(size_at == 1)
+        if singles.size:
+            self._ensure_boundary_masks()
+            u = cols[singles]
+            masks = np.where(self._bfinite[u], self._bmasks[u], 0)
+            np.bitwise_xor.at(out, ridx[singles], masks)
+        duos = np.flatnonzero(size_at == 2)
+        if duos.size:
+            duos = duos[np.argsort(roots[duos], kind="stable")]
+            a = duos[0::2]  # members adjacent per component, ascending
+            b = duos[1::2]
+            np.bitwise_xor.at(out, ridx[a], self._pair_masks(cols[a], cols[b]))
+        big = np.flatnonzero(size_at >= 3)
+        if big.size:
+            self._solve_clusters_batch(big, roots, ridx, cols, db, out)
+        return out
+
+    def _solve_clusters_batch(
+        self,
+        big: np.ndarray,
+        roots: np.ndarray,
+        ridx: np.ndarray,
+        cols: np.ndarray,
+        db: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Resolve all 3+-node components of a batch, vectorised.
+
+        Components are deduplicated against the cluster-mask memo *and*
+        against each other (the same local cluster often appears in
+        many rows of one batch), then the remaining misses are grouped
+        by size and solved en masse: one :func:`_match3_batch` /
+        :func:`_dp_match_batch` call per size runs the exact matcher
+        for every cluster of that size at once, and the resulting pair
+        lists turn into correction masks with two gathers.  Clusters
+        past the DP cap (or groups too small to amortise the batched
+        table) take the scalar :meth:`_solve_cluster` road.
+        """
+        dist = self._dist
+        memo = self._cluster_masks
+        big = big[np.argsort(roots[big], kind="stable")]
+        cuts = np.flatnonzero(np.diff(roots[big])) + 1
+        pending: dict[tuple[int, ...], tuple[np.ndarray, list[int]]] = {}
+        for members in np.split(big, cuts):
+            nodes = cols[members]
+            key = tuple(nodes.tolist())
+            row = int(ridx[members[0]])
+            cached = memo.get(key)
+            if cached is not None:
+                out[row] ^= cached
+                continue
+            entry = pending.get(key)
+            if entry is not None:
+                entry[1].append(row)
+            else:
+                pending[key] = (members, [row])
+        groups: dict[int, list[tuple[tuple[int, ...], np.ndarray, list[int]]]]
+        groups = {}
+        for key, (members, rows_hit) in pending.items():
+            m = members.size
+            if 3 <= m <= _DP_MAX_CLUSTER:
+                groups.setdefault(m, []).append((key, members, rows_hit))
+            else:
+                nodes = cols[members]
+                val = self._solve_cluster(
+                    key, db[members], dist[np.ix_(nodes, nodes)]
+                )
+                for row in rows_hit:
+                    out[row] ^= val
+        for m, entries in groups.items():
+            if len(entries) < _vec_min_clusters(m):
+                for key, members, rows_hit in entries:
+                    nodes = cols[members]
+                    val = self._solve_cluster(
+                        key, db[members], dist[np.ix_(nodes, nodes)]
+                    )
+                    for row in rows_hit:
+                        out[row] ^= val
+                continue
+            members_mat = np.stack([members for _, members, _ in entries])
+            nodes_mat = cols[members_mat]
+            db_mat = db[members_mat]
+            dd_mat = dist[nodes_mat[:, :, None], nodes_mat[:, None, :]]
+            if m == 3:
+                pairs = _match3_batch(db_mat, dd_mat)
+            else:
+                pairs = _dp_match_batch(db_mat, dd_mat)
+            masks = self._masks_from_pairs(nodes_mat, pairs)
+            for t, (key, _, rows_hit) in enumerate(entries):
+                val = int(masks[t])
+                if len(memo) < _CLUSTER_MEMO_LIMIT:
+                    memo[key] = val
+                for row in rows_hit:
+                    out[row] ^= val
+
+    def _masks_from_pairs(
+        self, nodes_mat: np.ndarray, pairs: np.ndarray
+    ) -> np.ndarray:
+        """Correction masks for a size-grouped batch of solved clusters.
+
+        ``pairs`` is the ``(clusters, slots, 2)`` output of a batched
+        matcher: local index pairs with ``j = -1`` meaning the boundary
+        and ``-2`` padding unused slots.  Boundary matches gather the
+        per-detector boundary masks (unmatchable detectors abstain, as
+        in the scalar path); pair matches gather the dense pair-mask
+        cache.  One XOR-scatter folds every contribution into its
+        cluster's mask.
+        """
+        self._ensure_boundary_masks()
+        masks = np.zeros(nodes_mat.shape[0], dtype=np.int64)
+        cidx, sidx = np.nonzero(pairs[:, :, 0] != -2)
+        ii = pairs[cidx, sidx, 0].astype(np.intp)
+        jj = pairs[cidx, sidx, 1].astype(np.intp)
+        u = nodes_mat[cidx, ii]
+        bnd = jj < 0
+        if bnd.any():
+            ub = u[bnd]
+            np.bitwise_xor.at(
+                masks, cidx[bnd],
+                np.where(self._bfinite[ub], self._bmasks[ub], 0),
+            )
+        paired = ~bnd
+        if paired.any():
+            v = nodes_mat[cidx[paired], jj[paired]]
+            np.bitwise_xor.at(
+                masks, cidx[paired], self._pair_masks(u[paired], v)
+            )
+        return masks
+
+    def _ensure_boundary_masks(self) -> None:
+        """Per-detector boundary-chain masks as gatherable arrays."""
+        if self._bmasks is not None:
+            return
+        graph = self.graph
+        boundary = graph.boundary
+        finite = np.isfinite(self._dist[:self.num_detectors, boundary])
+        masks = np.zeros(self.num_detectors, dtype=np.int64)
+        for u in np.flatnonzero(finite).tolist():
+            masks[u] = graph.path_observable_mask(u, boundary)
+        self._bmasks = masks
+        self._bfinite = finite
+
+    def _pair_masks(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Path-observable masks for defect pairs, vectorised.
+
+        Small graphs keep a dense ``(n, n)`` mask matrix filled lazily
+        (one memoised path walk per *new* pair, a fancy-indexed gather
+        for every recurring one); huge graphs skip the dense cache and
+        walk each pair through the graph's dict memo.
+        """
+        gpm = self.graph.path_observable_mask
+        if self._pair_mask is None:
+            if self.num_detectors > _PAIR_DENSE_LIMIT:
+                return np.fromiter(
+                    (gpm(int(u), int(v)) for u, v in zip(a, b)),
+                    dtype=np.int64, count=len(a),
+                )
+            n = self.num_detectors
+            self._pair_mask = np.zeros((n, n), dtype=np.int64)
+            self._pair_known = np.zeros((n, n), dtype=bool)
+        masks = self._pair_mask[a, b]
+        known = self._pair_known[a, b]
+        if not known.all():
+            for idx in np.flatnonzero(~known).tolist():
+                u, v = int(a[idx]), int(b[idx])
+                mask = gpm(u, v)
+                self._pair_mask[u, v] = self._pair_mask[v, u] = mask
+                self._pair_known[u, v] = self._pair_known[v, u] = True
+                masks[idx] = mask
+        return masks
 
     # ------------------------------------------------------------------
     def decode(self, detector_sample: np.ndarray) -> int:
@@ -101,44 +370,68 @@ class MwpmDecoder(BatchDecoderMixin):
                 if np.isfinite(db[i]):  # else: unmatchable, abstain
                     mask ^= graph.path_observable_mask(int(flagged[i]), boundary)
                 continue
-            # A cluster's optimal correction depends only on its node
-            # set, and local clusters recur across distinct syndromes —
-            # memoise the mask, solve only unseen clusters.
             nodes = tuple(int(flagged[i]) for i in cluster)
-            cached = self._cluster_masks.get(nodes)
-            if cached is not None:
-                mask ^= cached
-                continue
-            m = len(cluster)
-            if m == 2:
-                # A useful edge is strictly cheaper than two boundary
-                # chains by definition, so a 2-cluster always pairs.
-                pairs = ((0, 1),)
-            elif m == 3:
-                pairs = _match3(db[cluster], dd[np.ix_(cluster, cluster)])
-            elif m <= _DP_MAX_CLUSTER:
-                pairs = _dp_match(db[cluster], dd[np.ix_(cluster, cluster)])
-            else:
-                pairs = _blossom_match(db[cluster], dd[np.ix_(cluster, cluster)])
-            cluster_mask = 0
-            for i, j in pairs:
-                u = nodes[i]
-                if j < 0:
-                    if np.isfinite(db[cluster[i]]):
-                        cluster_mask ^= graph.path_observable_mask(u, boundary)
-                else:
-                    cluster_mask ^= graph.path_observable_mask(u, nodes[j])
-            if len(self._cluster_masks) < _CLUSTER_MEMO_LIMIT:
-                self._cluster_masks[nodes] = cluster_mask
-            mask ^= cluster_mask
+            mask ^= self._solve_cluster(
+                nodes, db[cluster], dd[np.ix_(cluster, cluster)]
+            )
         return mask
+
+    def _solve_cluster(
+        self, nodes: tuple[int, ...], db: np.ndarray, dd: np.ndarray
+    ) -> int:
+        """Optimal correction mask for one 2+-node cluster.
+
+        Shared by the scalar and batched paths: a cluster's optimal
+        correction depends only on its node set, and local clusters
+        recur across distinct syndromes, so the mask is memoised (by
+        the ascending node tuple) and only unseen clusters are solved.
+        """
+        cached = self._cluster_masks.get(nodes)
+        if cached is not None:
+            return cached
+        m = len(nodes)
+        if m == 2:
+            # A useful edge is strictly cheaper than two boundary
+            # chains by definition, so a 2-cluster always pairs.
+            pairs: tuple[tuple[int, int], ...] | list[tuple[int, int]]
+            pairs = ((0, 1),)
+        elif m == 3:
+            pairs = _match3(db, dd)
+        elif m <= _DP_MAX_CLUSTER:
+            pairs = _dp_match(db, dd)
+        elif m <= native.NATIVE_MAX_CLUSTER and native.enabled():
+            # Opt-in compiled kernel: the exact subset DP, JIT-ed,
+            # stretched past the pure-python cap — see
+            # repro.decoders.native for the tie-breaking caveat.
+            pairs = native.native_match(db, dd)
+        else:
+            pairs = _blossom_match(db, dd)
+        graph = self.graph
+        boundary = graph.boundary
+        cluster_mask = 0
+        for i, j in pairs:
+            u = nodes[i]
+            if j < 0:
+                if np.isfinite(db[i]):
+                    cluster_mask ^= graph.path_observable_mask(u, boundary)
+            else:
+                cluster_mask ^= graph.path_observable_mask(u, nodes[j])
+        if len(self._cluster_masks) < _CLUSTER_MEMO_LIMIT:
+            self._cluster_masks[nodes] = cluster_mask
+        return cluster_mask
 
 
 # ----------------------------------------------------------------------
 # Matching internals (module-level: shared, and independently testable)
 # ----------------------------------------------------------------------
 def _components(useful: np.ndarray) -> list[list[int]]:
-    """Connected components of the boolean useful-edge adjacency."""
+    """Connected components of the boolean useful-edge adjacency.
+
+    Members come back in ascending order — the canonical cluster order
+    shared with the batched union-find labelling, so scalar and batched
+    decodes key the cluster-mask memo identically and feed the subset
+    DP nodes in the same order (same weight-tie breaking).
+    """
     k = useful.shape[0]
     rows, cols = np.nonzero(useful)
     adj: list[list[int]] = [[] for _ in range(k)]
@@ -159,6 +452,7 @@ def _components(useful: np.ndarray) -> list[list[int]]:
                     comp[b] = label
                     members.append(b)
                     stack.append(b)
+        members.sort()
         clusters.append(members)
     return clusters
 
@@ -182,6 +476,94 @@ _BITS: list[tuple[int, ...]] = [
     tuple(b for b in range(_DP_MAX_CLUSTER) if s >> b & 1)
     for s in range(1 << _DP_MAX_CLUSTER)
 ]
+
+# lowest-set-bit index per subset, for the vectorised DP backtrack.
+_LOWBIT = np.zeros(1 << _DP_MAX_CLUSTER, dtype=np.int64)
+for _s in range(1, 1 << _DP_MAX_CLUSTER):
+    _LOWBIT[_s] = (_s & -_s).bit_length() - 1
+
+# Fewer clusters of one size than this and the batched DP's table
+# bookkeeping costs more than just looping the scalar matcher.  The
+# batched table pays ~2^m vector operations regardless of how many
+# clusters share them, so the break-even count grows with the size.
+def _vec_min_clusters(m: int) -> int:
+    return max(6, (1 << m) >> 4)
+
+
+def _match3_batch(db: np.ndarray, dd: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_match3` over ``(C, 3)`` boundary distances
+    and ``(C, 3, 3)`` pair distances: evaluate all four candidate
+    matchings for every cluster at once.  ``argmin`` keeps the first
+    minimal candidate, matching the scalar strict-``<`` scan order, so
+    weight ties break identically."""
+    costs = np.empty((4, db.shape[0]))
+    costs[0] = db[:, 0] + db[:, 1] + db[:, 2]
+    costs[1] = dd[:, 0, 1] + db[:, 2]
+    costs[2] = dd[:, 0, 2] + db[:, 1]
+    costs[3] = dd[:, 1, 2] + db[:, 0]
+    templates = np.array(
+        [
+            [[0, -1], [1, -1], [2, -1]],
+            [[0, 1], [2, -1], [-2, -2]],
+            [[0, 2], [1, -1], [-2, -2]],
+            [[1, 2], [0, -1], [-2, -2]],
+        ],
+        dtype=np.int8,
+    )
+    return templates[np.argmin(costs, axis=0)]
+
+
+def _dp_match_batch(db: np.ndarray, dd: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_dp_match` over a batch of same-size clusters.
+
+    The subset recurrence is identical — lowest unmatched node goes to
+    the boundary or pairs with a later node, ascending-``j`` scan,
+    strict-``<`` improvement — but each step updates all ``C`` clusters
+    with one numpy operation, so the python loop cost (``2^m`` subsets
+    times ``m/2`` partners) is paid once per *size group* instead of
+    once per cluster.  Identical float comparisons in identical order
+    mean identical tie-breaking, hence bit-identical matchings.
+
+    Returns ``(C, m, 2)`` local index pairs, ``j = -1`` for boundary
+    matches and ``-2`` padding unused slots.
+    """
+    count, m = db.shape
+    size = 1 << m
+    bits = _BITS
+    cost = np.full((size, count), np.inf)
+    choice = np.full((size, count), -1, dtype=np.int8)
+    cost[0] = 0.0
+    for subset in range(1, size):
+        i = bits[subset][0]
+        rest = subset ^ (1 << i)
+        best = cost[rest] + db[:, i]
+        pick = np.full(count, -1, dtype=np.int8)
+        for j in bits[rest]:
+            cand = cost[rest ^ (1 << j)] + dd[:, i, j]
+            better = cand < best
+            if better.any():
+                best[better] = cand[better]
+                pick[better] = j
+        cost[subset] = best
+        choice[subset] = pick
+    pairs = np.full((count, m, 2), -2, dtype=np.int8)
+    lanes = np.arange(count)
+    subset = np.full(count, size - 1, dtype=np.int64)
+    slot = 0
+    while True:
+        alive = subset > 0
+        if not alive.any():
+            break
+        i = _LOWBIT[subset]
+        j = choice[subset, lanes].astype(np.int64)
+        pairs[alive, slot, 0] = i[alive]
+        pairs[alive, slot, 1] = j[alive]
+        cleared = (np.int64(1) << i) | np.where(
+            j >= 0, np.int64(1) << np.maximum(j, 0), 0
+        )
+        subset = np.where(alive, subset ^ cleared, subset)
+        slot += 1
+    return pairs
 
 
 def _dp_match(db: np.ndarray, dd: np.ndarray) -> list[tuple[int, int]]:

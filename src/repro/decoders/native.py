@@ -1,0 +1,124 @@
+"""Optional compiled matching kernel for large MWPM clusters.
+
+Deep near-threshold syndromes produce clusters too big for the pure-
+python subset DP (``_dp_match`` caps at 10 nodes) and fall back to
+networkx blossom matching, whose per-cluster constant is the dominant
+cost in that regime.  This module feature-probes **numba** and, when
+present, offers a JIT-compiled exact subset-DP matcher that extends the
+DP range to :data:`NATIVE_MAX_CLUSTER` nodes — the 10-to-20-defect
+clusters that the blossom path otherwise eats.
+
+The kernel is **opt-in** (``configure(True)``, or ``--native-blossom``
+on the sweep CLI; pool drivers forward the setting to their workers)
+and degrades gracefully: without numba — this container does not ship
+it — ``enabled()`` stays ``False`` and :class:`~repro.decoders.mwpm.
+MwpmDecoder` keeps using its pure-python blossom fallback, so nothing
+in the tier-1 suite ever requires the compiled path.
+
+Caveat on exactness: both the DP and blossom find *minimum-weight*
+matchings, but they may break weight ties differently, so corrections
+on 11+-node clusters can legally differ between the two (equal total
+weight, different pairing).  That is why the kernel is opt-in rather
+than default: the engine's bit-identical-across-backends guarantee
+assumes every worker decodes with the same matcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except Exception:  # pragma: no cover - the container path
+    numba = None
+
+# Largest cluster the compiled subset DP accepts: 2^20 table rows
+# (~8 MB float64) and ~20M inner steps per cluster — past that the
+# exponential table loses to blossom even compiled.
+NATIVE_MAX_CLUSTER = 20
+
+_requested = False
+
+
+def available() -> bool:
+    """Whether the compiled kernel can actually run here."""
+    return numba is not None
+
+
+def requested() -> bool:
+    """Whether the caller opted in (independent of availability) —
+    what pool drivers forward to workers, which probe for themselves."""
+    return _requested
+
+
+def enabled() -> bool:
+    return _requested and numba is not None
+
+
+def configure(enabled_flag: bool) -> None:
+    """Opt in/out of the native kernel (per process; workers receive
+    the driver's setting via the pool ``config`` message)."""
+    global _requested
+    _requested = bool(enabled_flag)
+
+
+if numba is not None:  # pragma: no cover - exercised only with numba
+
+    @numba.njit(cache=False)
+    def _dp_match_kernel(db, dd):  # type: ignore[misc]
+        m = db.shape[0]
+        size = 1 << m
+        cost = np.full(size, np.inf)
+        choice = np.full(size, -1, np.int64)
+        cost[0] = 0.0
+        for subset in range(1, size):
+            i = 0
+            while not (subset >> i) & 1:
+                i += 1
+            rest = subset ^ (1 << i)
+            best = cost[rest] + db[i]
+            pick = -1
+            for j in range(i + 1, m):
+                if (rest >> j) & 1:
+                    c = cost[rest ^ (1 << j)] + dd[i, j]
+                    if c < best:
+                        best = c
+                        pick = j
+            cost[subset] = best
+            choice[subset] = pick
+        pairs = np.empty((m, 2), np.int64)
+        n = 0
+        subset = size - 1
+        while subset:
+            i = 0
+            while not (subset >> i) & 1:
+                i += 1
+            j = choice[subset]
+            pairs[n, 0] = i
+            pairs[n, 1] = j
+            n += 1
+            subset ^= 1 << i
+            if j >= 0:
+                subset ^= 1 << j
+        return pairs[:n]
+
+else:
+    _dp_match_kernel = None
+
+
+def native_match(db: np.ndarray, dd: np.ndarray) -> list[tuple[int, int]]:
+    """Exact minimum-weight matching-with-boundary, compiled.
+
+    Same contract (and same lowest-bit / ascending-partner tie
+    breaking) as ``mwpm._dp_match``: returns ``(i, j)`` index pairs
+    with ``j = -1`` meaning the boundary.  Callers must check
+    :func:`enabled` first and keep clusters within
+    :data:`NATIVE_MAX_CLUSTER`.
+    """
+    if _dp_match_kernel is None:  # pragma: no cover - defensive
+        raise RuntimeError("native kernel unavailable (numba not installed)")
+    pairs = _dp_match_kernel(
+        np.ascontiguousarray(db, dtype=np.float64),
+        np.ascontiguousarray(dd, dtype=np.float64),
+    )
+    return [(int(i), int(j)) for i, j in pairs]

@@ -43,6 +43,7 @@ import struct
 import sys
 import time
 
+from ..decoders import native
 from ..telemetry import configure as configure_telemetry
 from .runner import (
     NoLiveWorkersError,
@@ -56,10 +57,15 @@ from .runner import (
 logger = logging.getLogger(__name__)
 
 # Version 2 adds the driver->worker ("config", settings) message and
-# the optional 7th (phases) element on "ok" replies.  Drivers only send
-# "config" to workers that said hello with version >= 2, so mixed
-# deployments keep working: an old worker simply never reports phases.
-PROTOCOL_VERSION = 2
+# the optional 7th (phases) element on "ok" replies.  Version 3 adds
+# cross-worker syndrome-memo sharding: the ``memo_share`` /
+# ``native_blossom`` config keys, the driver->worker ("memo", circuit,
+# decoder, entries, epoch) replication message, and the optional 8th
+# (published memo entries) element on "ok" replies.  Drivers gate each
+# feature on the version a worker said hello with, so mixed
+# deployments keep working: an old worker simply never reports phases
+# or joins the shared memo.
+PROTOCOL_VERSION = 3
 _HEADER = struct.Struct(">I")
 # A frame is bounded by the largest prime payload (two DEM JSONs plus
 # the all-pairs distance matrices) — far below this, but cap it so a
@@ -131,9 +137,12 @@ def _serve_connection(conn: socket.socket) -> None:
     so stale circuits can never leak between sweeps.
     """
     conn.sendall(_encode_frame(("hello", PROTOCOL_VERSION)))
-    # Telemetry is per-driver state: a serve-forever worker must not
-    # carry the previous driver's setting into the next session.
+    # Telemetry and the native-matcher opt-in are per-driver state: a
+    # serve-forever worker must not carry the previous driver's
+    # settings into the next session.  (Memo sharding already resets
+    # with the per-connection executor.)
     configure_telemetry(enabled=False)
+    native.configure(False)
     executor = ShardExecutor()
     while True:
         message = _recv_frame(conn)
@@ -237,11 +246,13 @@ class RemoteBackend(WorkerPoolBackend):
         queue_depth: int = 2,
         connect_timeout: float = 10.0,
         send_timeout: float = 60.0,
+        memo_share: bool = True,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be positive")
         self.addrs = parse_addrs(addrs)
         self.queue_depth = queue_depth
+        self.memo_share = bool(memo_share)
         self.connect_timeout = connect_timeout
         self.send_timeout = send_timeout
         self._conns: list[_Connection] = []
