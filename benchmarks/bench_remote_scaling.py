@@ -1,0 +1,246 @@
+"""Remote-backend scaling benchmark (BENCH_remote.json).
+
+Two measured points for the multi-slot / work-stealing engine:
+
+- **slot scaling** — the same fixed-shot sweep against one socket
+  worker advertising 1 slot and again advertising 4 slots.  The gate
+  is honest about the host: with >= 4 CPU cores the 4-slot worker must
+  deliver >= 2.5x the 1-slot throughput (full mode only); on smaller
+  hosts (or in smoke mode) the decode threads share cores and the gate
+  degrades to "multi-slot is never slower" (>= 0.85x, absorbing timer
+  noise), with the skipped full gate recorded in the JSON.
+
+- **straggler steal** — a two-worker pool where one worker sleeps
+  before every shard (``--chaos-shard-delay``, so the stall
+  parallelises even on one core).  The sweep runs with stealing off
+  and on: stealing must engage, cut the tail wall clock, and leave the
+  failure counts bit-identical to a serial run — stealing is a latency
+  lever, never a statistics change.
+
+Results go to the repo-root ``BENCH_remote.json`` so the perf gates
+ride the same artifact pipeline as the other benchmarks.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.engine import CompilationCache, SweepSpec, run_sweep
+from repro.engine.remote import RemoteBackend
+from repro.engine.runner import Runner
+
+from _common import MASTER_SEED, publish, smoke
+
+BENCH_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_remote.json")
+)
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+SLOT_FULL_GATE = 2.5     # 4-slot vs 1-slot throughput, >= 4 cores, full mode
+SLOT_SMOKE_GATE = 0.85   # multi-slot must never be (meaningfully) slower
+STRAGGLER_DELAY_S = 1.25
+
+ENGINE_CACHE = CompilationCache()
+
+
+def _spawn_worker(*extra_args: str):
+    """One repro-worker subprocess on a free port -> (proc, addr)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.engine.remote",
+         "--listen", "127.0.0.1:0", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        env=env, text=True,
+    )
+    line = proc.stdout.readline().strip()
+    prefix = "repro-worker listening on "
+    if not line.startswith(prefix):
+        proc.kill()
+        proc.wait()
+        raise RuntimeError(f"worker failed to start: {line!r}")
+    return proc, line[len(prefix):]
+
+
+def _reap(procs) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def _spec(shots: int, **overrides) -> SweepSpec:
+    base = dict(distances=(3,), rounds=2, shots=shots,
+                master_seed=MASTER_SEED)
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+# ----------------------------------------------------------------------
+# Point 1: 1-slot vs 4-slot single-worker throughput
+# ----------------------------------------------------------------------
+def _timed_sweep(backend, shots: int, shard_shots: int, **runner_kw):
+    """Wall clock + failures of one sweep against ``backend``, after a
+    small warmup sweep that pays the one-off worker priming (circuit
+    transfer, DEM build, decoder construction) outside the timed run."""
+    run_sweep(_spec(shots=2 * shard_shots), backend=backend,
+              shard_shots=shard_shots, cache=ENGINE_CACHE)
+    runner = Runner(_spec(shots=shots), backend=backend,
+                    shard_shots=shard_shots, cache=ENGINE_CACHE, **runner_kw)
+    t0 = time.perf_counter()
+    results = runner.run()
+    wall_s = time.perf_counter() - t0
+    return wall_s, [r.failures for r in results], runner.steal_stats
+
+
+def _slot_point(slots: int, shots: int, shard_shots: int) -> dict:
+    proc, addr = _spawn_worker("--slots", str(slots))
+    try:
+        with RemoteBackend([addr]) as backend:
+            wall_s, failures, _ = _timed_sweep(backend, shots, shard_shots)
+    finally:
+        _reap([proc])
+    return {
+        "slots": slots,
+        "wall_s": round(wall_s, 4),
+        "shots_per_s": round(shots / wall_s, 1),
+        "failures": failures,
+    }
+
+
+# ----------------------------------------------------------------------
+# Point 2: forced straggler, stealing off vs on
+# ----------------------------------------------------------------------
+def _straggler_point(steal: bool, shots: int, shard_shots: int) -> dict:
+    # The fast worker is listed first so load-rank ties favour it and
+    # stolen windows drain onto it rather than queueing behind the
+    # straggler's sleep.
+    fast_proc, fast_addr = _spawn_worker()
+    slow_proc, slow_addr = _spawn_worker(
+        "--chaos-shard-delay", str(STRAGGLER_DELAY_S)
+    )
+    try:
+        with RemoteBackend([fast_addr, slow_addr]) as backend:
+            wall_s, failures, steals = _timed_sweep(
+                backend, shots, shard_shots,
+                steal=steal, steal_min_shots=shard_shots // 2,
+            )
+    finally:
+        _reap([fast_proc, slow_proc])
+    return {
+        "steal": steal,
+        "wall_s": round(wall_s, 4),
+        "failures": failures,
+        "steal_stats": steals,
+    }
+
+
+def test_remote_scaling():
+    cores = os.cpu_count() or 1
+    shots = 2048 if smoke() else 16384
+    shard_shots = 256
+
+    one = _slot_point(1, shots, shard_shots)
+    four = _slot_point(4, shots, shard_shots)
+    speedup = four["shots_per_s"] / one["shots_per_s"]
+    full_gate_checked = not smoke() and cores >= 4
+    full_gate_skip_reason = (
+        None if full_gate_checked else (
+            f"os.cpu_count()={cores} < 4: the decode threads share "
+            "cores, so the 4-slot speedup gate cannot be meaningful "
+            "on this host" if cores < 4
+            else "smoke mode: shrunken workload, full gate skipped"
+        )
+    )
+
+    straggler_shots = 384
+    straggler_shard = 128
+    off = _straggler_point(False, straggler_shots, straggler_shard)
+    on = _straggler_point(True, straggler_shots, straggler_shard)
+    serial_failures = [
+        r.failures for r in run_sweep(
+            _spec(shots=straggler_shots), shard_shots=straggler_shard,
+            cache=ENGINE_CACHE,
+        )
+    ]
+    tail_saving_s = off["wall_s"] - on["wall_s"]
+
+    publish("bench_remote_scaling", "\n".join([
+        f"host cores: {cores}  mode: {'smoke' if smoke() else 'full'}",
+        f"slot scaling ({shots} shots, shard {shard_shots}):",
+        f"  1-slot: {one['wall_s']:.2f}s  {one['shots_per_s']:>9,.0f} shots/s",
+        f"  4-slot: {four['wall_s']:.2f}s  {four['shots_per_s']:>9,.0f} shots/s"
+        f"  -> {speedup:.2f}x",
+        f"  full >= {SLOT_FULL_GATE}x gate: "
+        + ("checked" if full_gate_checked
+           else f"skipped ({full_gate_skip_reason})"),
+        f"straggler steal ({straggler_shots} shots, shard {straggler_shard}, "
+        f"delay {STRAGGLER_DELAY_S}s):",
+        f"  steal off: {off['wall_s']:.2f}s",
+        f"  steal on:  {on['wall_s']:.2f}s "
+        f"({on['steal_stats'].get('steals', 0)} steal(s), "
+        f"{on['steal_stats'].get('windows', 0)} window(s)) "
+        f"-> tail saving {tail_saving_s:+.2f}s",
+        f"  failures serial/off/on: {serial_failures}/"
+        f"{off['failures']}/{on['failures']} (must match)",
+    ]))
+
+    payload = {
+        "benchmark": "bench_remote_scaling",
+        "smoke": smoke(),
+        "cpu_count": cores,
+        "slot_scaling": {
+            "shots": shots,
+            "shard_shots": shard_shots,
+            "one_slot": one,
+            "four_slot": four,
+            "speedup": round(speedup, 3),
+            "smoke_gate": SLOT_SMOKE_GATE,
+            "full_gate": SLOT_FULL_GATE,
+            "full_gate_checked": full_gate_checked,
+            "full_gate_skip_reason": full_gate_skip_reason,
+        },
+        "straggler": {
+            "shots": straggler_shots,
+            "shard_shots": straggler_shard,
+            "chaos_delay_s": STRAGGLER_DELAY_S,
+            "steal_off": off,
+            "steal_on": on,
+            "tail_saving_s": round(tail_saving_s, 4),
+            "serial_failures": serial_failures,
+        },
+    }
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    # --- gates --------------------------------------------------------
+    # Multi-slot decode must never cost throughput, and bit-identity
+    # must hold across slot counts.
+    assert four["failures"] == one["failures"]
+    assert speedup >= SLOT_SMOKE_GATE, (
+        f"4-slot worker slower than 1-slot: {speedup:.2f}x"
+    )
+    if full_gate_checked:
+        assert speedup >= SLOT_FULL_GATE, (
+            f"4-slot speedup {speedup:.2f}x below the "
+            f"{SLOT_FULL_GATE}x gate on a {cores}-core host"
+        )
+    # Stealing must engage on the forced straggler, win wall clock,
+    # and change nothing statistical.
+    assert on["steal_stats"].get("steals", 0) >= 1, (
+        "forced straggler was never stolen"
+    )
+    assert on["wall_s"] < off["wall_s"], (
+        f"stealing did not reduce the straggler tail: "
+        f"on {on['wall_s']:.2f}s vs off {off['wall_s']:.2f}s"
+    )
+    assert off["failures"] == serial_failures
+    assert on["failures"] == serial_failures

@@ -56,12 +56,14 @@ class ProgressReporter:
         memo_stats: dict | None = None,
         setup_s: float | None = None,
         phase_s: dict | None = None,
+        steal_stats: dict | None = None,
     ) -> None:
         """End-of-sweep summary line.
 
         ``setup_s`` is the total per-job setup time (compile + DEM +
         cache) the runner measured; ``phase_s`` is the sweep-wide
-        per-phase seconds dict from telemetry-enabled runs — both
+        per-phase seconds dict from telemetry-enabled runs;
+        ``steal_stats`` the scheduler's straggler-steal counters — all
         optional so older callers keep working unchanged.
         """
         elapsed = time.monotonic() - self._t0
@@ -98,6 +100,15 @@ class ProgressReporter:
         self._emit(line)
         if phase_s:
             self._emit("phases: " + format_phase_share(phase_s))
+        if steal_stats and steal_stats.get("steals"):
+            # Straggler-steal summary: how many tail shards the
+            # scheduler re-sharded onto idle capacity (statistics are
+            # bit-identical either way; this is purely a latency lever).
+            self._emit(
+                f"steals: {steal_stats['steals']} straggler shard(s) "
+                f"re-sharded into {steal_stats.get('windows', 0)} "
+                f"window(s) ({steal_stats.get('stolen_shots', 0)} shots)"
+            )
 
     def status(self, snapshot: dict) -> None:
         """Live mid-sweep status (the runner calls this every
@@ -119,6 +130,12 @@ class ProgressReporter:
         phase_s = snapshot.get("phase_s")
         if phase_s:
             line += " | " + format_phase_share(phase_s)
+        steals = snapshot.get("steals")
+        if steals and steals.get("steals"):
+            line += (
+                f" | steals {steals['steals']} "
+                f"({steals.get('windows', 0)} windows)"
+            )
         self._emit(line)
         pool = snapshot.get("pool")
         if pool and pool.get("workers"):
@@ -163,6 +180,11 @@ def format_pool_health(pool: dict) -> str:
             f"{label} {stats.get('shards', 0)} shard(s) "
             f"busy {stats.get('busy_s', 0.0):.1f}s"
         )
+        slots = stats.get("slots", 1)
+        if slots > 1 or "busy_slots" in stats:
+            # Slot occupancy: how many of the worker's concurrency
+            # lanes hold an in-flight shard right now.
+            fragment += f" slots {stats.get('busy_slots', 0)}/{slots}"
         inflight = stats.get("inflight", 0)
         if inflight:
             fragment += f" +{inflight} inflight"

@@ -36,12 +36,16 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import pickle
-import select
+import queue as queue_module
+import selectors
 import socket
 import struct
 import sys
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from ..decoders import native
 from ..telemetry import configure as configure_telemetry
@@ -61,11 +65,16 @@ logger = logging.getLogger(__name__)
 # cross-worker syndrome-memo sharding: the ``memo_share`` /
 # ``native_blossom`` config keys, the driver->worker ("memo", circuit,
 # decoder, entries, epoch) replication message, and the optional 8th
-# (published memo entries) element on "ok" replies.  Drivers gate each
-# feature on the version a worker said hello with, so mixed
-# deployments keep working: an old worker simply never reports phases
-# or joins the shared memo.
-PROTOCOL_VERSION = 3
+# (published memo entries) element on "ok" replies.  Version 4 adds
+# multi-slot workers and work stealing: the hello grows a capability
+# dict (``("hello", 4, {"slots": N})``), shard tuples may extend to 10
+# elements with a stolen window's ``(offset, parent_shots)``, and a
+# multi-slot worker's "ok" replies are padded to 8 elements and append
+# the executing slot as a 9th so each slot gets its own telemetry
+# lane.  Drivers gate each feature on the version a worker said hello
+# with, so mixed deployments keep working: an old worker simply never
+# reports phases, joins the shared memo, or receives a stolen window.
+PROTOCOL_VERSION = 4
 _HEADER = struct.Struct(">I")
 # A frame is bounded by the largest prime payload (two DEM JSONs plus
 # the all-pairs distance matrices) — far below this, but cap it so a
@@ -130,30 +139,102 @@ def _recv_frame(sock: socket.socket):
     return pickle.loads(payload)
 
 
-def _serve_connection(conn: socket.socket) -> None:
+def _serve_connection(conn: socket.socket, slots: int = 1,
+                      chaos_shard_delay: float = 0.0) -> None:
     """One driver session: hello, then prime/dmat/shard until stop/EOF.
 
     Executor state is per-connection — a new driver always reprimes,
     so stale circuits can never leak between sweeps.
+
+    With ``slots > 1`` the session runs shards concurrently on a
+    thread pool of that width: prime / dmat / memo / config messages
+    are still applied inline on the receive thread (so a shard never
+    races the prime it depends on), only shard messages fan out.
+    ``chaos_shard_delay`` sleeps that long before each shard — a fault-
+    injection knob for forcing straggler shards in tests/benchmarks.
     """
-    conn.sendall(_encode_frame(("hello", PROTOCOL_VERSION)))
+    slots = max(1, int(slots))
+    conn.sendall(
+        _encode_frame(("hello", PROTOCOL_VERSION, {"slots": slots}))
+    )
     # Telemetry and the native-matcher opt-in are per-driver state: a
     # serve-forever worker must not carry the previous driver's
     # settings into the next session.  (Memo sharding already resets
     # with the per-connection executor.)
     configure_telemetry(enabled=False)
     native.configure(False)
-    executor = ShardExecutor()
-    while True:
-        message = _recv_frame(conn)
-        if message is None or message[0] == "stop":
+    executor = ShardExecutor(slots=slots)
+    if slots == 1:
+        while True:
+            message = _recv_frame(conn)
+            if message is None or message[0] == "stop":
+                return
+            if chaos_shard_delay and message[0] == "shard":
+                time.sleep(chaos_shard_delay)
+            reply = handle_worker_message(executor, message)
+            if reply is not None:
+                conn.sendall(_encode_frame(reply))
+    _serve_multislot(conn, executor, slots, chaos_shard_delay)
+
+
+def _serve_multislot(conn: socket.socket, executor: ShardExecutor,
+                     slots: int, chaos_shard_delay: float) -> None:
+    """Concurrent shard execution for one multi-slot session.
+
+    Exactly ``slots`` pool threads each claim a slot id from a free
+    queue for the duration of one shard, so the slot in a reply names
+    which concurrency lane ran it.  Replies are serialised by a send
+    lock; ``ok`` replies are padded to 8 elements (phases, published)
+    and the slot appended as a 9th — an unambiguous protocol >= 4
+    shape the driver turns into per-slot telemetry lanes.
+    """
+    send_lock = threading.Lock()
+    free_slots: queue_module.Queue = queue_module.Queue()
+    for slot in range(slots):
+        free_slots.put(slot)
+
+    def send(reply) -> None:
+        frame = _encode_frame(reply)
+        with send_lock:
+            conn.sendall(frame)
+
+    def run_shard(message) -> None:
+        slot = free_slots.get()
+        try:
+            if chaos_shard_delay:
+                time.sleep(chaos_shard_delay)
+            reply = handle_worker_message(executor, message, slot=slot)
+        finally:
+            free_slots.put(slot)
+        if reply is None:
             return
-        reply = handle_worker_message(executor, message)
-        if reply is not None:
-            conn.sendall(_encode_frame(reply))
+        if reply[0] == "ok":
+            reply = reply + (None,) * (8 - len(reply)) + (slot,)
+        try:
+            send(reply)
+        except OSError:
+            pass  # driver vanished: the recv loop notices the EOF
+
+    pool = ThreadPoolExecutor(
+        max_workers=slots, thread_name_prefix="repro-slot"
+    )
+    try:
+        while True:
+            message = _recv_frame(conn)
+            if message is None or message[0] == "stop":
+                return
+            if message[0] == "shard":
+                pool.submit(run_shard, message)
+            else:
+                reply = handle_worker_message(executor, message)
+                if reply is not None:
+                    send(reply)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def serve(listen: str = "127.0.0.1:0", *, serve_forever: bool = False,
+          slots: int = 1, chaos_shard_delay: float = 0.0,
           stream=None) -> None:
     """Run a shard worker: listen, announce the bound address, serve.
 
@@ -162,6 +243,8 @@ def serve(listen: str = "127.0.0.1:0", *, serve_forever: bool = False,
     port.  By default the worker exits when its driver disconnects —
     the right lifetime for job scripts and CI; ``serve_forever`` keeps
     it accepting one driver after another (a long-lived pool node).
+    ``slots`` shards run concurrently per session (see
+    :func:`_serve_connection`).
     """
     stream = stream if stream is not None else sys.stdout
     host, port = parse_addr(listen)
@@ -169,12 +252,17 @@ def serve(listen: str = "127.0.0.1:0", *, serve_forever: bool = False,
         bound_host, bound_port = listener.getsockname()[:2]
         print(f"repro-worker listening on {bound_host}:{bound_port}",
               file=stream, flush=True)
+        if slots > 1:
+            print(f"repro-worker slots: {slots}", file=stream, flush=True)
         while True:
             conn, _peer = listener.accept()
             try:
                 with conn:
                     conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                    _serve_connection(conn)
+                    _serve_connection(
+                        conn, slots=slots,
+                        chaos_shard_delay=chaos_shard_delay,
+                    )
             except (OSError, pickle.UnpicklingError, EOFError):
                 pass  # driver vanished mid-frame: drop the session
             if not serve_forever:
@@ -198,9 +286,28 @@ def main(argv=None) -> int:
         help="keep accepting new drivers after one disconnects "
              "(default: exit with the first driver)",
     )
+    parser.add_argument(
+        "--slots", default="1", metavar="N|auto",
+        help="concurrent shard slots to advertise and run ('auto' = "
+             "one per CPU core; default %(default)s)",
+    )
+    parser.add_argument(
+        "--chaos-shard-delay", type=float, default=0.0, metavar="SECONDS",
+        help="sleep this long before every shard (fault-injection knob "
+             "for forcing straggler shards; default off)",
+    )
     args = parser.parse_args(argv)
+    if args.slots == "auto":
+        slots = os.cpu_count() or 1
+    else:
+        slots = int(args.slots)
+    if slots < 1:
+        parser.error("--slots must be >= 1 (or 'auto')")
     try:
-        serve(args.listen, serve_forever=args.serve_forever)
+        serve(
+            args.listen, serve_forever=args.serve_forever, slots=slots,
+            chaos_shard_delay=args.chaos_shard_delay,
+        )
     except KeyboardInterrupt:
         return 130
     return 0
@@ -212,7 +319,10 @@ def main(argv=None) -> int:
 class _Connection:
     """Driver-side state of one worker link."""
 
-    __slots__ = ("addr", "sock", "buffer", "alive", "protocol")
+    __slots__ = (
+        "addr", "sock", "buffer", "alive", "protocol", "slots",
+        "outbox", "outbox_since", "interest",
+    )
 
     def __init__(self, addr: tuple[str, int], sock: socket.socket):
         self.addr = addr
@@ -220,6 +330,14 @@ class _Connection:
         self.buffer = bytearray()
         self.alive = True
         self.protocol = 1  # updated from the worker's hello
+        self.slots = 1  # concurrent shard lanes (protocol >= 4 hello)
+        # Frames queued behind a full socket buffer, flushed by the
+        # event loop as the socket turns writable; ``outbox_since``
+        # timestamps the last flush progress so a wedged worker
+        # surfaces as dead within send_timeout.
+        self.outbox = bytearray()
+        self.outbox_since: float | None = None
+        self.interest = 0  # current selector event mask
 
     @property
     def label(self) -> str:
@@ -235,6 +353,20 @@ class RemoteBackend(WorkerPoolBackend):
     circuit) priming, epoch-tagged abandonment for shared backends,
     and crash recovery — a broken socket disowns that worker's
     in-flight shards for the scheduler to resubmit to survivors.
+
+    The driver is a single selector-based event loop: sends are queued
+    per connection and flushed as sockets turn writable, reads are
+    multiplexed in one ``select``, so dispatch latency is independent
+    of pool size and one slow worker's full socket buffer never blocks
+    the others.
+
+    ``elastic=True`` turns the address list into a *membership*
+    roster: unreachable workers at start are tolerated (any one
+    suffices) and the driver periodically rescans the list mid-sweep,
+    so ``--serve-forever`` nodes can join a running sweep — a joiner
+    is primed and receives the replicated memo segments exactly like a
+    first-class member.  The default (strict) mode keeps the original
+    contract: every listed worker must be reachable at start.
     """
 
     name = "remote"
@@ -247,6 +379,8 @@ class RemoteBackend(WorkerPoolBackend):
         connect_timeout: float = 10.0,
         send_timeout: float = 60.0,
         memo_share: bool = True,
+        elastic: bool = False,
+        rescan_interval: float = 2.0,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be positive")
@@ -255,6 +389,10 @@ class RemoteBackend(WorkerPoolBackend):
         self.memo_share = bool(memo_share)
         self.connect_timeout = connect_timeout
         self.send_timeout = send_timeout
+        self.elastic = bool(elastic)
+        self.rescan_interval = rescan_interval
+        self._last_rescan = 0.0
+        self._selector: selectors.BaseSelector | None = None
         self._conns: list[_Connection] = []
         # Wire-level metrics (sweep-lifetime totals, surfaced via
         # pool_health): frame bytes each way and driver-side pickle
@@ -287,56 +425,176 @@ class RemoteBackend(WorkerPoolBackend):
     def _worker_slots(self) -> int:
         if not self._conns:
             return len(self.addrs)
-        return sum(1 for conn in self._conns if conn.alive)
+        return sum(conn.slots for conn in self._conns if conn.alive)
+
+    def _worker_slot_count(self, worker: int) -> int:
+        if worker < len(self._conns):
+            return self._conns[worker].slots
+        return 1
 
     def _live_workers(self) -> list[int]:
         return [w for w, conn in enumerate(self._conns) if conn.alive]
 
+    def _connect(self, addr, timeout: float | None = None) -> _Connection:
+        """Dial one worker and complete the hello handshake."""
+        timeout = self.connect_timeout if timeout is None else timeout
+        try:
+            sock = socket.create_connection(addr, timeout=timeout)
+        except OSError as exc:
+            raise ConnectionError(
+                f"cannot reach repro-worker at {addr[0]}:{addr[1]}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _Connection(addr, sock)
+        hello = self._blocking_frame(conn)
+        if not (isinstance(hello, tuple) and hello[:1] == ("hello",)):
+            sock.close()
+            raise ConnectionError(
+                f"worker at {addr[0]}:{addr[1]} did not say hello "
+                f"(got {hello!r}) — is it a repro-worker?"
+            )
+        if len(hello) > 1:
+            conn.protocol = int(hello[1])
+        if len(hello) > 2 and isinstance(hello[2], dict):
+            # Protocol >= 4 capability dict; today just the slot count.
+            conn.slots = max(1, int(hello[2].get("slots", 1)))
+        sock.settimeout(None)
+        sock.setblocking(False)
+        return conn
+
+    def _adopt(self, conn: _Connection) -> int:
+        """Append a fresh connection as a new worker index (indices are
+        never reused — a rejoining address gets a new identity, so the
+        bookkeeping of its previous life can never leak onto it)."""
+        worker = len(self._conns)
+        self._conns.append(conn)
+        self._load.append(0)
+        self._update_interest(worker)
+        return worker
+
     def _ensure_workers(self) -> None:
         if self._conns:
             return
+        self._selector = selectors.DefaultSelector()
+        unreachable: list[tuple] = []
+        last_error: ConnectionError | None = None
         for addr in self.addrs:
             try:
-                sock = socket.create_connection(addr, timeout=self.connect_timeout)
-            except OSError as exc:
-                self._teardown()
-                raise ConnectionError(
-                    f"cannot reach repro-worker at {addr[0]}:{addr[1]}: {exc}"
-                ) from exc
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            conn = _Connection(addr, sock)
-            hello = self._blocking_frame(conn)
-            if not (isinstance(hello, tuple) and hello[:1] == ("hello",)):
-                self._teardown()
-                raise ConnectionError(
-                    f"worker at {addr[0]}:{addr[1]} did not say hello "
-                    f"(got {hello!r}) — is it a repro-worker?"
+                conn = self._connect(addr)
+            except ConnectionError as exc:
+                if not self.elastic:
+                    self._teardown()
+                    raise
+                unreachable.append(addr)
+                last_error = exc
+                continue
+            self._adopt(conn)
+        if not self._conns:
+            self._teardown()
+            raise last_error  # every address failed; elastic needs one
+        for addr in unreachable:
+            logger.warning(
+                "elastic pool: worker %s:%s unreachable at start; will "
+                "keep rescanning", addr[0], addr[1],
+            )
+
+    def _rescan(self) -> None:
+        """Elastic membership: reconnect roster addresses with no live
+        connection (throttled to one pass per ``rescan_interval``)."""
+        if not self.elastic or not self._conns:
+            return
+        now = time.monotonic()
+        if now - self._last_rescan < self.rescan_interval:
+            return
+        self._last_rescan = now
+        covered = {conn.addr for conn in self._conns if conn.alive}
+        for addr in self.addrs:
+            if addr in covered:
+                continue
+            try:
+                conn = self._connect(
+                    addr, timeout=min(self.connect_timeout, 0.5)
                 )
-            if len(hello) > 1:
-                conn.protocol = int(hello[1])
-            sock.settimeout(None)
-            sock.setblocking(False)
-            self._conns.append(conn)
-            self._load.append(0)
+            except ConnectionError:
+                continue
+            self._adopt(conn)
+            logger.info(
+                "elastic pool: worker %s joined with %d slot(s)",
+                conn.label, conn.slots,
+            )
+
+    def _update_interest(self, worker: int) -> None:
+        """Sync one connection's selector registration with its state
+        (read always; write only while its outbox holds queued frames)."""
+        conn = self._conns[worker]
+        if self._selector is None or not conn.alive:
+            return
+        try:
+            if conn.sock.fileno() < 0:
+                return
+            events = selectors.EVENT_READ
+            if conn.outbox:
+                events |= selectors.EVENT_WRITE
+            if conn.interest == events:
+                return
+            if conn.interest:
+                self._selector.modify(conn.sock, events, worker)
+            else:
+                self._selector.register(conn.sock, events, worker)
+            conn.interest = events
+        except (KeyError, ValueError, OSError):
+            pass  # a raced-away descriptor is reaped on the next drain
 
     def _send(self, worker: int, message: tuple) -> None:
         conn = self._conns[worker]
+        if not conn.alive:
+            raise _WorkerDied(worker)
         t0 = time.perf_counter()
         frame = _encode_frame(message)
         self._serialize_s += time.perf_counter() - t0
-        try:
-            # Bounded, not plain blocking: a wedged-but-connected
-            # worker (or a silently-dropping partition) whose receive
-            # buffer fills must surface as a death within
-            # ``send_timeout``, not stall the whole driver inside
-            # submit — crash recovery can only fire on an error.
-            conn.sock.settimeout(self.send_timeout)
-            conn.sock.sendall(frame)
-            conn.sock.setblocking(False)
-        except OSError:  # includes socket.timeout
-            self._worker_died(worker)
-            raise _WorkerDied(worker) from None
+        # Queue-and-flush, never block: whatever the socket buffer
+        # refuses right now rides in the outbox until the event loop
+        # sees the socket writable.  A worker that stops draining its
+        # socket surfaces as dead once its outbox stalls for
+        # ``send_timeout`` — crash recovery can only fire on an error.
+        conn.outbox += frame
         self._bytes_out += len(frame)
+        if not self._flush(worker):
+            raise _WorkerDied(worker)
+
+    def _flush(self, worker: int) -> bool:
+        """Push a connection's outbox as far as the socket allows.
+        Returns False when the flush killed the worker."""
+        conn = self._conns[worker]
+        if not conn.alive:
+            return False
+        now = time.monotonic()
+        while conn.outbox:
+            try:
+                sent = conn.sock.send(memoryview(conn.outbox))
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._worker_died(worker)
+                return False
+            if sent == 0:
+                break
+            del conn.outbox[:sent]
+            conn.outbox_since = now  # progress resets the stall clock
+        if not conn.outbox:
+            conn.outbox_since = None
+        elif conn.outbox_since is None:
+            conn.outbox_since = now
+        elif now - conn.outbox_since > self.send_timeout:
+            logger.warning(
+                "remote worker %s stopped draining its socket for %.0fs "
+                "with %d byte(s) queued; declaring it dead",
+                conn.label, self.send_timeout, len(conn.outbox),
+            )
+            self._worker_died(worker)
+            return False
+        self._update_interest(worker)
+        return True
 
     # ------------------------------------------------------------------
     def _blocking_frame(self, conn: _Connection):
@@ -349,6 +607,13 @@ class RemoteBackend(WorkerPoolBackend):
         if not conn.alive:
             return
         conn.alive = False
+        if self._selector is not None:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass  # never registered, or its fd is already gone
+        conn.interest = 0
+        conn.outbox = bytearray()
         try:
             conn.sock.close()
         except OSError:
@@ -362,32 +627,37 @@ class RemoteBackend(WorkerPoolBackend):
         self._forget_worker(worker)
 
     def _drain(self, timeout: float) -> list[ShardOutcome]:
-        """Read whatever the live workers sent within ``timeout``."""
+        """One event-loop turn: rescan (elastic), flush writable
+        outboxes, read whatever the live workers sent within
+        ``timeout``."""
         outcomes: list[ShardOutcome] = []
+        self._rescan()
         # A socket can become invalid under us (closed by a signal
         # handler, torn down by a test's partition simulation): treat
         # that exactly like a death noticed via EOF.
         for worker, conn in enumerate(self._conns):
             if conn.alive and conn.sock.fileno() < 0:
                 self._worker_died(worker)
-        live = [conn for conn in self._conns if conn.alive]
-        if not live:
+        if self._selector is None or not any(c.alive for c in self._conns):
             return outcomes
         try:
-            readable, _, _ = select.select(
-                [c.sock for c in live], [], [], timeout
-            )
+            events = self._selector.select(timeout)
         except (OSError, ValueError):
             # A descriptor went bad between the fileno() sweep and the
             # select: reap it on the next pass.
             return outcomes
-        ready = {id(sock) for sock in readable}
-        for worker, conn in enumerate(self._conns):
-            if not conn.alive or id(conn.sock) not in ready:
+        for key, mask in events:
+            worker = key.data
+            conn = self._conns[worker]
+            if not conn.alive:
+                continue
+            if mask & selectors.EVENT_WRITE and not self._flush(worker):
+                continue
+            if not mask & selectors.EVENT_READ:
                 continue
             try:
                 chunk = conn.sock.recv(1 << 20)
-            except BlockingIOError:
+            except (BlockingIOError, InterruptedError):
                 continue
             except OSError:
                 chunk = b""
@@ -401,6 +671,13 @@ class RemoteBackend(WorkerPoolBackend):
                 outcome = self._handle(message)
                 if outcome is not None:
                     outcomes.append(outcome)
+        # Age out wedged outboxes even when their sockets never turn
+        # writable (the peer advertises no window at all).
+        now = time.monotonic()
+        for worker, conn in enumerate(self._conns):
+            if (conn.alive and conn.outbox and conn.outbox_since is not None
+                    and now - conn.outbox_since > self.send_timeout):
+                self._flush(worker)  # last chance; kills on stall
         return outcomes
 
     @staticmethod
@@ -423,24 +700,23 @@ class RemoteBackend(WorkerPoolBackend):
         return self._drain(0.0)
 
     def wait(self, poll_interval: float = 0.2) -> list[ShardOutcome]:
-        """Block until a shard finishes or a worker's death is noticed.
+        """Wait up to one ``poll_interval`` for finished shards.
 
-        Returns an empty list when shards were lost (the scheduler
-        reaps them via ``take_lost`` and resubmits to survivors) and
-        raises :class:`NoLiveWorkersError` once nobody is left to wait
-        for — never hangs on a dead pool.
+        May return an empty list: the scheduler uses each quiet beat
+        to reap lost shards (``take_lost``), steal straggler tails,
+        and let an elastic pool's rescan admit joiners.  Raises
+        :class:`NoLiveWorkersError` once nobody is left to wait for —
+        never hangs on a dead pool.
         """
-        while True:
-            outcomes = self._drain(poll_interval)
-            if outcomes:
-                return outcomes
-            if self._lost:
-                return []  # losses for the scheduler to recover
-            if not self._live_workers():
-                raise NoLiveWorkersError(
-                    f"all {len(self._conns)} remote worker(s) disconnected "
-                    f"with {len(self._dispatch)} shard(s) in flight"
-                )
+        outcomes = self._drain(poll_interval)
+        if outcomes or self._lost:
+            return outcomes
+        if not self._live_workers():
+            raise NoLiveWorkersError(
+                f"all {len(self._conns)} remote worker(s) disconnected "
+                f"with {len(self._dispatch)} shard(s) in flight"
+            )
+        return []
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -469,6 +745,12 @@ class RemoteBackend(WorkerPoolBackend):
                     conn.sock.close()
                 except OSError:
                     pass
+        if self._selector is not None:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
+            self._selector = None
         self._conns = []
         self._init_pool()
 

@@ -44,6 +44,7 @@ import multiprocessing
 import os
 import queue as queue_module
 import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -55,6 +56,7 @@ from ..codes import make_code
 from ..core.compiler import CompilerConfig, QccdCompiler
 from ..core.stim_export import program_to_circuit
 from ..decoders import native
+from ..decoders.batch import SyndromeMemo
 from ..decoders.graph import DetectorGraph
 from ..ler.estimator import make_decoder
 from ..noise.parameters import DEFAULT_NOISE, NoiseParameters
@@ -96,11 +98,22 @@ def ordered_phases(phases: dict) -> list[str]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Shard:
-    """A fixed slice of one job's shot budget with its own RNG stream."""
+    """A fixed slice of one job's shot budget with its own RNG stream.
+
+    A shard may be a *window* of a larger planned shard (work stealing
+    re-shards a straggler's tranche): ``parent_shots`` is then the
+    planned shard's full shot count and ``offset`` this window's first
+    row within it.  The window re-draws the **whole** parent sample
+    from the same seed and decodes only its own rows — per-row samples
+    and per-row failures are independent of how the batch is split, so
+    the windows' failure counts sum to exactly the parent's.
+    """
 
     index: int
     shots: int
     seed: np.random.SeedSequence
+    offset: int = 0
+    parent_shots: int | None = None
 
 
 def plan_shards(
@@ -159,16 +172,32 @@ def sample_shard(
     telemetry = active_telemetry()
     enabled = telemetry.enabled
     phases0 = telemetry.phase_snapshot() if enabled else None
+    draw_shots = (
+        shard.parent_shots if shard.parent_shots is not None else shard.shots
+    )
+    if shard.offset < 0 or shard.offset + shard.shots > draw_shots:
+        raise ValueError(
+            f"shard window [{shard.offset}, {shard.offset + shard.shots}) "
+            f"outside parent draw of {draw_shots} shots"
+        )
     with telemetry.span("shard"):
         with telemetry.span("sample"):
             if sampler is not None:
-                packed = sampler.sample_packed(shard.shots, seed=shard.seed)
+                packed = sampler.sample_packed(draw_shots, seed=shard.seed)
             else:
                 sample = FrameSimulator(circuit, seed=shard.seed).sample(
-                    shard.shots
+                    draw_shots
                 )
                 packed = PackedShard.from_bool(
                     sample.detectors, sample.observables
+                )
+            if shard.parent_shots is not None and (
+                shard.offset or shard.shots != draw_shots
+            ):
+                lo, hi = shard.offset, shard.offset + shard.shots
+                packed = PackedShard(
+                    packed.det_words[lo:hi], packed.obs_words[lo:hi],
+                    packed.num_detectors, packed.num_observables,
                 )
         memo = decoder.syndrome_memo()
         hits0, misses0, _, shared0 = memo.snapshot()
@@ -225,6 +254,11 @@ class SerialBackend:
     def __init__(self):
         self._outcomes: list[ShardOutcome] = []
 
+    def supports_windows(self) -> bool:
+        """Windowed (stolen) sub-shards run fine in-process — though
+        with capacity 1 the scheduler never actually steals here."""
+        return True
+
     def submit(
         self, task: ShardTask, compiled: CompiledCircuit, cache: CompilationCache
     ) -> None:
@@ -233,7 +267,8 @@ class SerialBackend:
         sampler = cache.dem_sampler(compiled) if task.sampler == "dem" else None
         failures, memo, phases = sample_shard(
             compiled.circuit, decoder,
-            Shard(task.shard_index, task.shots, task.seed),
+            Shard(task.shard_index, task.shots, task.seed,
+                  offset=task.offset, parent_shots=task.parent_shots),
             sampler=sampler,
         )
         # worker stays "" — in-process spans already recorded real trace
@@ -291,12 +326,26 @@ class ShardExecutor:
     Shared by the multiprocessing worker loop and the socket worker
     (``repro-worker``): both feed it the same prime / dmat / shard
     messages and differ only in transport.
+
+    A multi-slot worker runs ``run()`` concurrently from ``slots``
+    threads.  Decoders are keyed per slot — MWPM/union-find instances
+    hold mutable per-decode scratch — while the syndrome memo and the
+    DEM sampler are shared across slots per circuit (the memo *is* the
+    dedupe; the sampler is stateless per call).  Construction of
+    decoders and samplers is serialized by ``_build_lock`` because
+    building mutates shared lazy caches on the detector graph.
     """
 
-    def __init__(self):
+    def __init__(self, slots: int = 1):
+        self.slots = max(1, int(slots))
         self._circuits: dict[str, tuple] = {}
-        self._decoders: dict[tuple[str, str], object] = {}
+        # (circuit_key, decoder_name, slot) -> decoder instance.
+        self._decoders: dict[tuple[str, str, int], object] = {}
+        # (circuit_key, decoder_name) -> memo shared by every slot's
+        # decoder of that pair (cross-slot dedupe for free).
+        self._memos: dict[tuple[str, str], object] = {}
         self._samplers: dict[str, DemSampler] = {}
+        self._build_lock = threading.RLock()
         # (slot, slots) while the driver has cross-worker syndrome-memo
         # sharing on for this worker; None otherwise.
         self._memo_share: tuple[int, int] | None = None
@@ -313,12 +362,12 @@ class ShardExecutor:
             self._memo_share = (int(share["slot"]), int(share["slots"]))
         else:
             self._memo_share = None
-        for decoder in self._decoders.values():
-            memo = decoder.syndrome_memo()
-            if self._memo_share is not None:
-                memo.enable_sharing(*self._memo_share)
-            else:
-                memo.disable_sharing()
+        with self._build_lock:
+            for memo in self._memos.values():
+                if self._memo_share is not None:
+                    memo.enable_sharing(*self._memo_share)
+                else:
+                    memo.disable_sharing()
 
     def absorb_memo(self, circuit_key, decoder_name, entries) -> int:
         """Merge peer-decoded memo entries pushed by the driver.
@@ -331,24 +380,41 @@ class ShardExecutor:
         entry = self._circuits.get(circuit_key)
         if entry is None:
             return 0
-        return self._decoder_for(circuit_key, decoder_name, entry[1]).\
-            syndrome_memo().absorb(entries)
+        return self._memo_for(circuit_key, decoder_name).absorb(entries)
 
     def drain_memo(self, circuit_key, decoder_name) -> list:
         """Owned memo entries decoded since the last drain (see
         :meth:`repro.decoders.batch.SyndromeMemo.drain_outbox`)."""
-        decoder = self._decoders.get((circuit_key, decoder_name))
-        if decoder is None:
+        memo = self._memos.get((circuit_key, decoder_name))
+        if memo is None:
             return []
-        return decoder.syndrome_memo().drain_outbox()
+        return memo.drain_outbox()
 
-    def _decoder_for(self, circuit_key, decoder_name, graph):
-        decoder = self._decoders.get((circuit_key, decoder_name))
+    def _memo_for(self, circuit_key, decoder_name):
+        pair = (circuit_key, decoder_name)
+        memo = self._memos.get(pair)
+        if memo is None:
+            with self._build_lock:
+                memo = self._memos.get(pair)
+                if memo is None:
+                    memo = SyndromeMemo()
+                    if self._memo_share is not None:
+                        memo.enable_sharing(*self._memo_share)
+                    self._memos[pair] = memo
+        return memo
+
+    def _decoder_for(self, circuit_key, decoder_name, graph, slot: int = 0):
+        key = (circuit_key, decoder_name, slot)
+        decoder = self._decoders.get(key)
         if decoder is None:
-            decoder = make_decoder(graph, decoder_name)
-            if self._memo_share is not None:
-                decoder.syndrome_memo().enable_sharing(*self._memo_share)
-            self._decoders[(circuit_key, decoder_name)] = decoder
+            memo = self._memo_for(circuit_key, decoder_name)
+            with self._build_lock:
+                decoder = self._decoders.get(key)
+                if decoder is None:
+                    decoder = make_decoder(graph, decoder_name)
+                    # Every slot's decoder of this pair shares one memo.
+                    decoder._memo = memo
+                    self._decoders[key] = decoder
         return decoder
 
     def prime(self, circuit_key, circuit_text, dem_data, sdem_data, dmat) -> None:
@@ -364,13 +430,19 @@ class ShardExecutor:
         # Late distance-matrix delivery: the circuit was primed by a
         # non-MWPM shard, and an MWPM shard is now on its way.
         entry = self._circuits.get(circuit_key)
-        if entry is not None and (circuit_key, "mwpm") not in self._decoders:
+        built = any(
+            key[0] == circuit_key and key[1] == "mwpm" for key in self._decoders
+        )
+        if entry is not None and not built:
             try:
                 entry[1].set_shortest_paths(*dmat)
             except ValueError:
                 pass  # shape mismatch: let the decoder compute its own
 
-    def run(self, circuit_key, decoder_name, sampler_name, shots, seed):
+    def run(
+        self, circuit_key, decoder_name, sampler_name, shots, seed,
+        offset: int = 0, parent_shots: int | None = None, slot: int = 0,
+    ):
         """Sample one shard; returns ``(failures, memo_stats, phases)``."""
         entry = self._circuits.get(circuit_key)
         if entry is None:
@@ -379,17 +451,26 @@ class ShardExecutor:
                 "priming protocol violated"
             )
         circuit, graph, sampling_dem = entry
-        decoder = self._decoder_for(circuit_key, decoder_name, graph)
+        decoder = self._decoder_for(
+            circuit_key, decoder_name, graph, slot % self.slots
+        )
         sampler = None
         if sampler_name == "dem":
             sampler = self._samplers.get(circuit_key)
             if sampler is None:
-                sampler = DemSampler(sampling_dem)
-                self._samplers[circuit_key] = sampler
-        return sample_shard(circuit, decoder, Shard(0, shots, seed), sampler=sampler)
+                with self._build_lock:
+                    sampler = self._samplers.get(circuit_key)
+                    if sampler is None:
+                        sampler = DemSampler(sampling_dem)
+                        self._samplers[circuit_key] = sampler
+        return sample_shard(
+            circuit, decoder,
+            Shard(0, shots, seed, offset=offset, parent_shots=parent_shots),
+            sampler=sampler,
+        )
 
 
-def handle_worker_message(executor: ShardExecutor, message: tuple):
+def handle_worker_message(executor: ShardExecutor, message: tuple, slot: int = 0):
     """Process one driver message; returns the reply tuple or ``None``.
 
     The request/reply state machine shared by both worker transports:
@@ -402,6 +483,12 @@ def handle_worker_message(executor: ShardExecutor, message: tuple):
     syndrome-memo entries under cross-worker sharing (protocol >= 3)
     appends them as an 8th; drivers on the old 6-tuple protocol never
     enable either, so they never see the longer shapes.
+
+    Protocol >= 4 drivers may extend the 8-element shard tuple with
+    ``(offset, parent_shots)`` — a stolen *window* of a planned shard;
+    older tuples run unwindowed.  ``slot`` is which of a multi-slot
+    worker's lanes is executing this call (the transport appends it to
+    the reply itself; see ``remote._serve_connection``).
     """
     kind = message[0]
     if kind == "prime":
@@ -429,11 +516,15 @@ def handle_worker_message(executor: ShardExecutor, message: tuple):
         executor.set_memo_share(settings.get("memo_share"))
         native.configure(bool(settings.get("native_blossom", False)))
         return None
-    _, seq, circuit_key, decoder_name, sampler_name, shots, seed, epoch = message
+    (_, seq, circuit_key, decoder_name, sampler_name, shots, seed,
+     epoch) = message[:8]
+    offset = message[8] if len(message) > 8 else 0
+    parent_shots = message[9] if len(message) > 9 else None
     try:
         t0 = time.perf_counter()
         failures, memo, phases = executor.run(
-            circuit_key, decoder_name, sampler_name, shots, seed
+            circuit_key, decoder_name, sampler_name, shots, seed,
+            offset=offset, parent_shots=parent_shots, slot=slot,
         )
         elapsed = time.perf_counter() - t0
         published = executor.drain_memo(circuit_key, decoder_name)
@@ -547,7 +638,14 @@ class WorkerPoolBackend:
         raise NotImplementedError
 
     def _worker_slots(self) -> int:
+        """Total concurrent-shard slots across live workers (the
+        capacity hint).  One per worker unless the transport learns
+        otherwise (socket workers advertise theirs in the hello)."""
         raise NotImplementedError
+
+    def _worker_slot_count(self, worker: int) -> int:
+        """Concurrent-shard slots of one worker (1 unless advertised)."""
+        return 1
 
     def _send(self, worker: int, message: tuple) -> None:
         raise NotImplementedError
@@ -565,10 +663,47 @@ class WorkerPoolBackend:
     # ------------------------------------------------------------------
     @property
     def capacity(self) -> int:
-        """Tasks the backend wants in flight: a small per-worker queue
-        keeps workers busy without hoarding shards an adaptive job may
-        never need.  Shrinks as workers die."""
+        """Tasks the backend wants in flight: a small per-slot queue
+        keeps every worker slot busy without hoarding shards an
+        adaptive job may never need.  Shrinks as workers die."""
         return max(1, self._worker_slots()) * self.queue_depth
+
+    def supports_windows(self) -> bool:
+        """Whether some live worker can run windowed (stolen)
+        sub-shards — the scheduler's steal-eligibility probe.  Window
+        fields ride on protocol >= 4 shard tuples, so a pool of only
+        older workers reports False and stealing never engages."""
+        return any(
+            self._worker_protocol(worker) >= 4
+            for worker in self._live_workers()
+        )
+
+    def stale_pending(self) -> list[int]:
+        """In-flight task seqs old enough to be straggler suspects,
+        oldest dispatch first.
+
+        "Old enough" is self-tuning: a task qualifies once its
+        dispatch age exceeds twice the fastest worker's observed mean
+        shard time (floored at 0.25 s), so a freshly submitted stream
+        is never stolen from at t=0 — a sweep smaller than pool
+        capacity would otherwise be split instantly, duplicating work
+        for nothing — while a genuine straggler qualifies within a
+        couple of normal shard durations.  Before any shard has
+        completed there is no notion of "normal", so nothing
+        qualifies."""
+        means = [
+            stats["busy_s"] / stats["shards"]
+            for stats in self._wstats.values() if stats["shards"]
+        ]
+        if not means:
+            return []
+        threshold = max(0.25, 2.0 * min(means))
+        now = time.perf_counter()
+        stale = [
+            seq for seq, entry in self._dispatch.items()
+            if now - entry[3] > threshold
+        ]
+        return sorted(stale, key=lambda seq: self._dispatch[seq][3])
 
     def submit(
         self, task: ShardTask, compiled: CompiledCircuit, cache: CompilationCache
@@ -576,10 +711,28 @@ class WorkerPoolBackend:
         self._ensure_workers()
         while True:
             live = self._live_workers()
+            if task.parent_shots is not None:
+                # Stolen windows need the protocol-4 shard tuple; in a
+                # mixed pool only the newer workers can run them.
+                live = [w for w in live if self._worker_protocol(w) >= 4]
+                parent = (
+                    self._dispatch.get(task.parent_seq)
+                    if task.parent_seq is not None else None
+                )
+                if parent is not None:
+                    # A window queued behind its own still-running
+                    # parent defeats the steal: route it anywhere else
+                    # while an alternative exists.
+                    others = [w for w in live if w != parent[0]]
+                    if others:
+                        live = others
             if not live:
                 raise NoLiveWorkersError(
-                    f"{self.name} backend: every worker is dead; cannot run "
-                    f"shard {task.shard_index} of job {task.job_key}"
+                    f"{self.name} backend: no live worker"
+                    + (" speaks protocol >= 4;"
+                       if task.parent_shots is not None else ";")
+                    + f" cannot run shard {task.shard_index} of job "
+                    f"{task.job_key}"
                 )
             worker = self._pick_worker(task.circuit_key, live)
             try:
@@ -669,11 +822,14 @@ class WorkerPoolBackend:
             )
             self._dmat_primed.add(pair)
         self._send_memo_delta(worker, task)
-        self._send(
-            worker,
-            ("shard", task.seq, task.circuit_key, task.decoder, task.sampler,
-             task.shots, task.seed, self._epoch),
-        )
+        shard = ("shard", task.seq, task.circuit_key, task.decoder,
+                 task.sampler, task.shots, task.seed, self._epoch)
+        if task.parent_shots is not None:
+            # Stolen window: extend with (offset, parent_shots).  Plain
+            # shards keep the 8-tuple so protocol <= 3 workers still
+            # unpack them.
+            shard = shard + (task.offset, task.parent_shots)
+        self._send(worker, shard)
 
     def _send_memo_delta(self, worker, task) -> None:
         """Replicate peer-published memo entries this worker has not
@@ -703,13 +859,16 @@ class WorkerPoolBackend:
             )
 
     def _pick_worker(self, circuit_key: str, live: list[int]) -> int:
-        """Least-loaded live worker; among ties, prefer one already
-        primed for this circuit so priming traffic stays minimal."""
+        """Least-loaded live worker — load normalized by slot count, so
+        a 4-slot worker looks as busy with 4 shards in flight as a
+        1-slot worker with one; among ties, prefer one already primed
+        for this circuit so priming traffic stays minimal."""
         best = live[0]
         best_rank = None
         for worker in live:
             primed = (worker, circuit_key) in self._primed
-            rank = (self._load[worker], not primed)
+            slots = max(1, self._worker_slot_count(worker))
+            rank = (self._load[worker] / slots, not primed)
             if best_rank is None or rank < best_rank:
                 best, best_rank = worker, rank
         return best
@@ -761,9 +920,12 @@ class WorkerPoolBackend:
         # worker left enabled by an earlier driver must not leak phases
         # into a telemetry-off run, so gate on our own setting too.
         # Protocol >= 3 memo-sharing replies append the worker's newly
-        # owned memo entries as an 8th element.
+        # owned memo entries as an 8th element.  Multi-slot protocol-4
+        # workers always pad to 8 and append the executing slot as a
+        # 9th, so each slot gets its own telemetry lane.
         phases = message[6] if len(message) > 6 else None
         published = message[7] if len(message) > 7 else None
+        slot = message[8] if len(message) > 8 else None
         if not active_telemetry().enabled:
             phases = None
         if epoch != self._epoch:
@@ -788,9 +950,12 @@ class WorkerPoolBackend:
         if dispatched is None:
             raise RuntimeError(f"result for unknown shard task {seq}")
         memo = memo if memo is not None else (0, 0, 0)
+        label = self._worker_label(worker)
+        if slot is not None:
+            label = f"{label}#s{int(slot)}"
         return ShardOutcome(
             seq, job_key, shots, int(value), float(elapsed_s), *memo,
-            phases=phases, worker=self._worker_label(worker),
+            phases=phases, worker=label,
         )
 
     def _merge_memo(self, meta, entries, origin: int) -> None:
@@ -833,13 +998,15 @@ class WorkerPoolBackend:
         workers = {}
         for worker in sorted(self._wstats):
             stats = self._wstats[worker]
+            inflight = self._load[worker] if worker < len(self._load) else 0
+            slots = max(1, self._worker_slot_count(worker))
             workers[self._worker_label(worker)] = {
                 "shards": stats["shards"],
                 "busy_s": stats["busy_s"],
                 "overhead_s": stats["overhead_s"],
-                "inflight": (
-                    self._load[worker] if worker < len(self._load) else 0
-                ),
+                "inflight": inflight,
+                "slots": slots,
+                "busy_slots": min(inflight, slots),
                 "heartbeat_age_s": now - stats["last_heard"],
             }
         health = {
@@ -940,7 +1107,7 @@ class MultiprocessBackend(WorkerPoolBackend):
 
     def _worker_protocol(self, worker: int) -> int:
         # In-process workers run this very module: always current.
-        return 3
+        return 4
 
     def _worker_slots(self) -> int:
         if not self._procs:
@@ -994,34 +1161,33 @@ class MultiprocessBackend(WorkerPoolBackend):
                 outcomes.append(outcome)
 
     def wait(self, poll_interval: float = 0.2) -> list[ShardOutcome]:
-        """Block until at least one shard finishes.
+        """Wait up to one ``poll_interval`` for a shard to finish.
 
         The timed ``get`` keeps the parent interruptible: a SIGINT
         lands between polls instead of hanging until a whole job's
-        ``map`` returns.  Returns an empty list when worker death is
-        detected instead — the scheduler then reaps the lost shards
-        and resubmits them to the survivors.
+        ``map`` returns.  Returns an empty list after one quiet
+        interval — the scheduler uses the beat to reap lost shards,
+        steal straggler tails, and rescan elastic pools, and only
+        treats emptiness as a stall when nothing is in flight at all.
         """
-        while True:
-            try:
-                message = self._result_queue.get(timeout=poll_interval)
-            except queue_module.Empty:
-                self._reap_dead()
-                if self._lost:
-                    return []  # losses for the scheduler to recover
-                if len(self._dead) == len(self._procs):
-                    # No survivor can ever produce a result; the usual
-                    # surfacing point is submit() on the scheduler's
-                    # resubmission attempt, but if wait() is reached
-                    # first it must raise too, never spin.
-                    raise NoLiveWorkersError(
-                        f"all {len(self._procs)} worker process(es) died"
-                    )
-                continue
-            outcome = self._handle(message)
-            if outcome is None:
-                continue  # stale epoch / disowned shard: keep waiting
-            return [outcome] + self.poll()
+        try:
+            message = self._result_queue.get(timeout=poll_interval)
+        except queue_module.Empty:
+            self._reap_dead()
+            if not self._lost and self._procs and \
+                    len(self._dead) == len(self._procs):
+                # No survivor can ever produce a result; the usual
+                # surfacing point is submit() on the scheduler's
+                # resubmission attempt, but if wait() is reached
+                # first it must raise too, never spin.
+                raise NoLiveWorkersError(
+                    f"all {len(self._procs)} worker process(es) died"
+                )
+            return []
+        outcome = self._handle(message)
+        if outcome is None:
+            return self.poll()  # stale epoch / disowned: drain the rest
+        return [outcome] + self.poll()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -1164,6 +1330,8 @@ class Runner:
         checkpoint_shards: bool = True,
         telemetry=None,
         status_interval: float | None = None,
+        steal: bool = True,
+        steal_min_shots: int = 256,
     ):
         self.spec = spec
         self._own_backend = backend is None
@@ -1196,6 +1364,11 @@ class Runner:
         # Seconds between live status lines (requires progress); None
         # disables the periodic snapshot.
         self.status_interval = status_interval
+        # Straggler work stealing (needs a backend whose workers can
+        # run windowed sub-shards; silently inert elsewhere).
+        self.steal = bool(steal)
+        self.steal_min_shots = steal_min_shots
+        self._scheduler: StreamScheduler | None = None
         self._status_last = time.monotonic()
         self._artifacts: dict[tuple, JobArtifacts] = {}
         # Sweep-wide syndrome-memo tallies (hit/miss deltas summed over
@@ -1232,8 +1405,10 @@ class Runner:
         completed = self.store.load() if self.store is not None else {}
         results: dict[str, JobResult] = {}
         scheduler = StreamScheduler(
-            self.backend, self.cache, on_outcome=self._on_outcome
+            self.backend, self.cache, on_outcome=self._on_outcome,
+            steal=self.steal, steal_min_shots=self.steal_min_shots,
         )
+        self._scheduler = scheduler
         try:
             for job in jobs:
                 if job.key in results or scheduler.has(job.key):
@@ -1281,8 +1456,16 @@ class Runner:
         self.progress.finish(
             self.cache.stats(), self._memo_totals,
             setup_s=self._setup_s_total, phase_s=self._sweep_phases(),
+            steal_stats=self.steal_stats or None,
         )
         return [results[job.key] for job in jobs]
+
+    @property
+    def steal_stats(self) -> dict:
+        """Scheduler steal counters (empty before/without stealing)."""
+        if self._scheduler is None:
+            return {}
+        return self._scheduler.steal_stats()
 
     def _sweep_phases(self) -> dict[str, float]:
         """Sweep-wide per-phase seconds: shard phases summed over every
@@ -1316,7 +1499,12 @@ class Runner:
         self._live_memo_hits += outcome.memo_hits
         self._live_memo_misses += outcome.memo_misses
         self._live_memo_shared += outcome.memo_shared_hits
-        if self.store is not None and self.checkpoint_shards:
+        if (self.store is not None and self.checkpoint_shards
+                and task.parent_shots is None):
+            # Stolen windows share their parent's shard_index; a
+            # partial window record would collide with (and could be
+            # mistaken for) the whole shard on resume, so only whole
+            # shards checkpoint.
             self.store.append_shard(ShardRecord(
                 job_key=outcome.job_key,
                 shard_index=task.shard_index,
@@ -1392,6 +1580,9 @@ class Runner:
         pool_health = getattr(self.backend, "pool_health", None)
         if pool_health is not None:
             snapshot["pool"] = pool_health()
+        steals = self.steal_stats
+        if steals.get("steals"):
+            snapshot["steals"] = steals
         return snapshot
 
     def _state_for(

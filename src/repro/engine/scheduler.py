@@ -39,11 +39,21 @@ The scheduler remembers every in-flight :class:`ShardTask` and, when a
 backend reports losses, resubmits the lost tasks — with their
 *original* ``SeedSequence`` streams — to the surviving workers.  A
 shard's sample is fully determined by its seed, so a recovered sweep's
-failure counts are bit-identical to a crash-free run.  A backend whose
-``wait()`` detects worker death may return an empty outcome list; the
-scheduler then reaps the losses and refills before blocking again (so
-``wait()`` must only return empty when there are losses to reap, or
-the stream would spin).
+failure counts are bit-identical to a crash-free run.  ``wait()`` may
+return an empty outcome list after one poll interval; the scheduler
+uses each beat to reap losses, steal straggler tails, and let elastic
+pools rescan, and only diagnoses a stall when nothing is in flight.
+
+**Work stealing**: when the stream's tail is held by in-flight shards
+and the pool has idle capacity, the slowest in-flight shard of a
+fixed-shot job is *split* — released from its worker (its eventual
+result is dropped as superseded) and resubmitted as several windowed
+sub-shards that re-draw the parent's sample from its original seed and
+each decode a disjoint row range.  Per-row samples and failures are
+independent of the batch split, so the windows' failure counts sum to
+exactly what the unstolen shard would have reported: stealing changes
+wall-clock, never statistics.  Seeds come from the pre-planned shard
+stream, not from timing.
 """
 
 from __future__ import annotations
@@ -76,6 +86,16 @@ class ShardTask:
     # Which syndrome sampler runs the shard: "dem" (bit-packed
     # DEM-direct fast path) or "frame" (gate-by-gate circuit replay).
     sampler: str = "dem"
+    # Stolen-window fields: a window re-draws its parent's full
+    # ``parent_shots`` sample from ``seed`` and decodes only rows
+    # ``[offset, offset + shots)``.  ``parent_shots is None`` means a
+    # whole planned shard (the only shape protocol <= 3 workers see).
+    offset: int = 0
+    parent_shots: int | None = None
+    # Scheduler seq of the superseded parent (driver-side routing hint
+    # only — never serialized): lets the backend keep a window off the
+    # worker still chewing on the parent it replaced.
+    parent_seq: int | None = None
 
 
 @dataclass(frozen=True)
@@ -266,10 +286,26 @@ class StreamScheduler:
     shards into the result store.
     """
 
-    def __init__(self, backend, cache, on_outcome=None):
+    def __init__(
+        self, backend, cache, on_outcome=None, *,
+        steal: bool = True, steal_min_shots: int = 256,
+    ):
         self.backend = backend
         self.cache = cache
         self.on_outcome = on_outcome
+        # Straggler stealing: only meaningful against a backend whose
+        # workers can run windowed sub-shards (``supports_windows``);
+        # silently inert elsewhere.  ``steal_min_shots`` floors the
+        # window size so stealing never shatters a shard into slivers
+        # whose per-window overhead outweighs the tail it trims.
+        self._steal = bool(steal)
+        self._steal_min_shots = max(1, int(steal_min_shots))
+        # Seqs of split (stolen-from) parents whose late results must
+        # be dropped: their windows are the copies that count.
+        self._superseded: set[int] = set()
+        self._steals = 0
+        self._stolen_shots = 0
+        self._steal_windows = 0
         # A shared backend may hold leftovers of an earlier sweep (a
         # dead worker's surplus duplicate result in a shared queue);
         # our seq numbers start at 0, so fence those out before any
@@ -393,7 +429,92 @@ class StreamScheduler:
             self._pending[task.seq] = (task, state)
             self.backend.submit(task, state.compiled, self.cache)
             submitted += 1
+        if self._inflight < capacity and not self._retry:
+            # No plannable work left but capacity is idle: the stream's
+            # tail is held by in-flight stragglers — split one.
+            submitted += self._maybe_steal(capacity)
         return submitted
+
+    def _maybe_steal(self, capacity: int) -> int:
+        """Split the stalest in-flight fixed-shot shard across the idle
+        capacity.  The parent is released immediately (its late result
+        is superseded) and ``idle + 1`` windows of it are submitted, so
+        post-steal in-flight exactly refills capacity — no re-steal
+        churn within one beat, and the stolen rows start moving on idle
+        workers while the original worker's effort is simply discarded.
+        """
+        if not self._steal or self._inflight == 0:
+            return 0
+        supports = getattr(self.backend, "supports_windows", None)
+        if supports is None or not supports():
+            return 0
+        stale = getattr(self.backend, "stale_pending", None)
+        order = stale() if stale is not None else sorted(self._pending)
+        for seq in order:
+            entry = self._pending.get(seq)
+            if entry is None:
+                continue
+            task, state = entry
+            if task.parent_shots is not None or state.adaptive:
+                # Never re-split a window; adaptive jobs retire early
+                # on their own and a dropped parent would waste their
+                # nearly-done sample.
+                continue
+            idle = capacity - self._inflight
+            windows = min(idle + 1, task.shots // self._steal_min_shots)
+            if windows < 2:
+                continue
+            self._split_task(seq, task, state, windows)
+            return windows
+        return 0
+
+    def _split_task(self, seq, task, state, windows: int) -> None:
+        del self._pending[seq]
+        self._inflight -= 1
+        state.inflight -= 1
+        self._superseded.add(seq)
+        base, rem = divmod(task.shots, windows)
+        offset = 0
+        for i in range(windows):
+            shots = base + (1 if i < rem else 0)
+            child = ShardTask(
+                seq=self._seq,
+                job_key=task.job_key,
+                circuit_key=task.circuit_key,
+                decoder=task.decoder,
+                shots=shots,
+                seed=task.seed,
+                shard_index=task.shard_index,
+                sampler=task.sampler,
+                offset=offset,
+                parent_shots=task.shots,
+                parent_seq=seq,
+            )
+            self._seq += 1
+            offset += shots
+            state.inflight += 1
+            self._inflight += 1
+            self._pending[child.seq] = (child, state)
+            self.backend.submit(child, state.compiled, self.cache)
+        self._steals += 1
+        self._stolen_shots += task.shots
+        self._steal_windows += windows
+        logger.info(
+            "stole straggler shard %d of job %s (seq %d, %d shots) into "
+            "%d windows", task.shard_index, task.job_key, seq, task.shots,
+            windows,
+        )
+
+    def steal_stats(self) -> dict:
+        """Straggler-steal counters (all zero when stealing never
+        engaged): parents split, shots re-sharded, windows submitted."""
+        if not self._steals:
+            return {}
+        return {
+            "steals": self._steals,
+            "stolen_shots": self._stolen_shots,
+            "windows": self._steal_windows,
+        }
 
     def _recover(self) -> None:
         """Reap shards lost to dead workers and queue their resubmission.
@@ -417,6 +538,9 @@ class StreamScheduler:
         if take_lost is None:
             return
         for seq in take_lost():
+            # A split parent lost with its worker needs no recovery —
+            # its windows carry the sample — just stop tracking it.
+            self._superseded.discard(seq)
             entry = self._pending.pop(seq, None)
             if entry is None:
                 continue
@@ -460,6 +584,12 @@ class StreamScheduler:
 
     def _absorb(self, outcomes) -> None:
         for outcome in outcomes:
+            if outcome.seq in self._superseded:
+                # A split parent finished after all: its windows are
+                # the copies that count (identical rows, identical
+                # failures), so this result is surplus by construction.
+                self._superseded.discard(outcome.seq)
+                continue
             state = self._states[outcome.job_key]
             task_entry = self._pending.pop(outcome.seq, None)
             state.inflight -= 1

@@ -172,10 +172,18 @@ class Telemetry:
     status view needs.  ``clock`` is injectable for deterministic
     tests; it must be monotonic.
 
-    Not thread-safe by design: the engine records from one thread per
-    process (driver or worker loop).  Cross-process aggregation happens
-    at the message layer — workers ship per-shard phase *deltas* back
-    to the driver, never raw registries.
+    Mostly single-threaded by design — the driver records from one
+    thread — but multi-slot workers run shards on several threads at
+    once, so span *attribution* is thread-local: each thread keeps its
+    own span stack and its own per-thread phase totals, and
+    :meth:`phase_snapshot` / :meth:`phase_delta` read the calling
+    thread's view.  A shard's phase dict therefore never absorbs a
+    concurrent slot's time.  The registry-wide ``_phases`` totals are
+    still best-effort under concurrency (unlocked adds); they are only
+    consumed on the (single-threaded) driver, where they are exact.
+    Cross-process aggregation happens at the message layer — workers
+    ship per-shard phase *deltas* back to the driver, never raw
+    registries.
     """
 
     def __init__(
@@ -208,6 +216,13 @@ class Telemetry:
             stack = self._local.stack = []
         return stack
 
+    def _thread_phases(self) -> dict:
+        """This thread's own ``name -> exclusive seconds`` totals."""
+        phases = getattr(self._local, "phases", None)
+        if phases is None:
+            phases = self._local.phases = {}
+        return phases
+
     def span(self, name: str, **attrs):
         """A timed region; records on ``__exit__``.  Returns the shared
         no-op singleton when disabled (nothing allocated, nothing
@@ -217,12 +232,15 @@ class Telemetry:
         return _Span(self, name, attrs or None)
 
     def _record_span(self, span: _Span, dur: float) -> None:
+        exclusive = dur - span.child_s
         entry = self._phases.get(span.name)
         if entry is None:
-            self._phases[span.name] = [1, dur - span.child_s]
+            self._phases[span.name] = [1, exclusive]
         else:
             entry[0] += 1
-            entry[1] += dur - span.child_s
+            entry[1] += exclusive
+        local = self._thread_phases()
+        local[span.name] = local.get(span.name, 0.0) + exclusive
         if self.trace:
             self.add_event(
                 span.name, span.t0 - self.t0, dur, lane="driver",
@@ -279,17 +297,20 @@ class Telemetry:
         return {name: entry[0] for name, entry in self._phases.items()}
 
     def phase_snapshot(self) -> dict[str, float]:
-        """A copy of the phase totals, for delta attribution: snapshot
-        before a unit of work, diff after, and the result is that unit's
-        own per-phase time — the pattern ``sample_shard`` uses to give
-        every shard outcome its phase dict."""
-        return self.phase_totals()
+        """A copy of the *calling thread's* phase totals, for delta
+        attribution: snapshot before a unit of work, diff after, and
+        the result is that unit's own per-phase time — the pattern
+        ``sample_shard`` uses to give every shard outcome its phase
+        dict.  Thread-local so concurrent shards on a multi-slot
+        worker never attribute each other's time."""
+        return dict(self._thread_phases())
 
     def phase_delta(self, snapshot: dict[str, float]) -> dict[str, float]:
-        """Per-phase seconds accrued since ``snapshot`` (positive only)."""
+        """Per-phase seconds this thread accrued since ``snapshot``
+        (positive only)."""
         delta = {}
-        for name, entry in self._phases.items():
-            d = entry[1] - snapshot.get(name, 0.0)
+        for name, total in self._thread_phases().items():
+            d = total - snapshot.get(name, 0.0)
             if d > 0.0:
                 delta[name] = d
         return delta

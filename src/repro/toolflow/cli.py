@@ -151,7 +151,9 @@ def cmd_sweep(args) -> int:
             print("--backend remote requires --workers-addr host:port[,...]",
                   file=sys.stderr)
             return 2
-        backend = RemoteBackend(args.workers_addr, memo_share=memo_share)
+        backend = RemoteBackend(
+            args.workers_addr, memo_share=memo_share, elastic=args.elastic,
+        )
     elif args.backend == "serial":
         from ..engine import SerialBackend
 
@@ -202,6 +204,7 @@ def cmd_sweep(args) -> int:
         progress=args.progress or args.status is not None,
         checkpoint_shards=not args.no_shard_checkpoints,
         status_interval=args.status,
+        steal=not args.no_steal,
     )
     if backend is not None:
         # CLI-constructed backends are CLI-owned: close (or, on error,
@@ -301,6 +304,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="repro-worker addresses for the remote "
                               "backend; a worker lost mid-sweep is "
                               "recovered on the survivors")
+    p_sweep.add_argument("--elastic", action="store_true",
+                         help="remote backend: treat --workers-addr as an "
+                              "elastic membership roster — tolerate "
+                              "unreachable workers at start (any one "
+                              "suffices) and rescan mid-sweep so "
+                              "serve-forever workers can join a running "
+                              "sweep")
+    p_sweep.add_argument("--no-steal", action="store_true",
+                         help="disable driver-side work stealing (by "
+                              "default a fixed-shot job's straggling tail "
+                              "shards are re-sharded across idle worker "
+                              "slots; failure counts are bit-identical "
+                              "either way)")
     p_sweep.add_argument("--no-memo-share", action="store_true",
                          help="disable cross-worker syndrome-memo "
                               "sharing on pool backends (per-worker "

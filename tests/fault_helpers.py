@@ -205,15 +205,18 @@ def subprocess_env() -> dict:
     return env
 
 
-def spawn_worker(timeout: float = 30.0, extra_args: tuple = ()):
+def spawn_worker(timeout: float = 30.0, extra_args: tuple = (),
+                 listen: str = "127.0.0.1:0"):
     """Start one ``repro-worker`` on a free port.
 
     Returns ``(proc, "host:port")``; the worker announces its bound
-    address on stdout, which is how port 0 is resolved.
+    address on stdout, which is how port 0 is resolved.  Elastic-pool
+    tests pass an explicit ``listen`` address so a replacement worker
+    can reclaim a dead one's roster slot.
     """
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.engine.remote",
-         "--listen", "127.0.0.1:0", *extra_args],
+         "--listen", listen, *extra_args],
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
         env=subprocess_env(),
